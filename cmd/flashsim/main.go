@@ -1,0 +1,98 @@
+// Command flashsim demonstrates the raw NAND flash model: the ISPP
+// charge-increase rule that makes In-Place Appends physically possible,
+// and the failures that protect against illegal overwrites.
+//
+// Usage:
+//
+//	flashsim                      # run the guided demonstration
+//	flashsim -cell mlc            # on MLC flash (LSB/MSB pairing)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ipa/internal/flash"
+)
+
+func main() {
+	cell := flag.String("cell", "slc", "cell type: slc | mlc")
+	flag.Parse()
+
+	ct := flash.SLC
+	timing := flash.SLCTiming()
+	if *cell == "mlc" {
+		ct = flash.MLC
+		timing = flash.MLCTiming()
+	}
+	g := flash.Geometry{
+		Chips: 1, BlocksPerChip: 4, PagesPerBlock: 8,
+		PageSize: 256, OOBSize: 16, Cell: ct,
+	}
+	arr, err := flash.New(flash.Config{Geometry: g, Timing: timing, StrictProgramOrder: true, MaxAppends: 4}, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("flash: %v, %d chips × %d blocks × %d pages × %dB\n\n",
+		ct, g.Chips, g.BlocksPerChip, g.PagesPerBlock, g.PageSize)
+
+	step := func(what string, err error) {
+		if err != nil {
+			fmt.Printf("  ✗ %-52s %v\n", what, err)
+		} else {
+			fmt.Printf("  ✓ %s\n", what)
+		}
+	}
+
+	// 1. Program a page, leaving the tail erased (the delta-record area).
+	page := make([]byte, 256)
+	for i := 0; i < 200; i++ {
+		page[i] = byte(i)
+	}
+	for i := 200; i < 256; i++ {
+		page[i] = 0xFF
+	}
+	_, err = arr.Program(nil, 0, page, nil)
+	step("program page 0 with bytes [0,200), tail left erased", err)
+
+	// 2. Re-programming the whole page fails: erase-before-overwrite.
+	_, err = arr.Program(nil, 0, page, nil)
+	step("re-program page 0 without erase (must fail)", err)
+
+	// 3. An ISPP append into the erased tail succeeds — this is
+	// write_delta.
+	_, err = arr.ProgramDelta(nil, 0, 200, []byte{0x12, 0x34, 0x56}, 0, nil)
+	step("ISPP append 3 bytes at offset 200 (write_delta)", err)
+
+	// 4. Appending a value that needs a 0→1 bit flip fails: charge can
+	// only increase.
+	_, err = arr.ProgramDelta(nil, 0, 200, []byte{0xFF}, 0, nil)
+	step("overwrite 0x12 with 0xFF (charge decrease, must fail)", err)
+
+	// 5. A subset overwrite (only clearing bits) is legal —
+	// Correct-and-Refresh uses this.
+	_, err = arr.ProgramDelta(nil, 0, 200, []byte{0x02}, 0, nil)
+	step("overwrite 0x12 with 0x02 (subset bits, legal)", err)
+
+	if ct == flash.MLC {
+		// 6. MLC: appends on MSB pages are rejected.
+		_, err = arr.Program(nil, 1, page, nil)
+		step("program MSB page 1", err)
+		_, err = arr.ProgramDelta(nil, 1, 200, []byte{0x01}, 0, nil)
+		step("append on MSB page (must fail on MLC)", err)
+	}
+
+	// 7. Erase resets the block; the page programs again.
+	_, err = arr.Erase(nil, 0)
+	step("erase block 0", err)
+	_, err = arr.Program(nil, 0, page, nil)
+	step("program page 0 again after erase", err)
+
+	s := arr.Stats()
+	fmt.Printf("\nstats: %d programs, %d ISPP appends, %d reads, %d erases, %d bytes written\n",
+		s.Programs, s.DeltaPrograms, s.Reads, s.Erases, s.BytesWritten)
+	fmt.Printf("block 0 wear: %d P/E cycles\n", arr.EraseCount(0))
+}

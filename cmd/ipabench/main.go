@@ -1,0 +1,59 @@
+// Command ipabench regenerates the paper's evaluation tables and
+// figures. Each experiment builds the full stack (flash array → NoFTL →
+// storage engine → workload) and prints the same rows the paper reports.
+//
+// Usage:
+//
+//	ipabench -exp table1          # one experiment
+//	ipabench -exp all             # everything (slow)
+//	ipabench -exp table9 -quick   # reduced scale
+//	ipabench -list                # enumerate experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ipa/internal/experiments"
+)
+
+var ids = []string{
+	"table1", "table2", "table3", "table4", "table5", "table6",
+	"table7", "table8", "table9", "table10", "table11",
+	"fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "longevity",
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (table1..table11, fig1, fig6..fig10, or 'all')")
+	quick := flag.Bool("quick", false, "reduced scale for fast runs")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "ipabench: -exp required (use -list for ids)")
+		os.Exit(2)
+	}
+	p := experiments.Params{Quick: *quick}
+	if *exp == "all" {
+		out, err := experiments.All(p)
+		fmt.Print(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipabench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	t, err := experiments.ByID(*exp, p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipabench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(t.Render())
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ChangeSet is the byte-level difference between the current logical image
+// of a page and the image as of its last flush, split into body and
+// metadata modifications as the paper's delta-record format requires.
+type ChangeSet struct {
+	Body []Pair
+	Meta []Pair
+}
+
+// Empty reports whether nothing changed.
+func (c ChangeSet) Empty() bool { return len(c.Body) == 0 && len(c.Meta) == 0 }
+
+// BodyBytes is U in the paper: the number of changed body bytes.
+func (c ChangeSet) BodyBytes() int { return len(c.Body) }
+
+// MetaBytes is the number of changed metadata bytes.
+func (c ChangeSet) MetaBytes() int { return len(c.Meta) }
+
+// MetaClassifier decides whether a page offset belongs to page metadata
+// (header/footer/slot table) rather than the tuple body.
+type MetaClassifier func(off int) bool
+
+// Diff computes the ChangeSet between two equal-length page images.
+// Offsets for which skip returns true (e.g. the delta-record area itself)
+// are ignored; isMeta routes each changed offset to Body or Meta.
+func Diff(current, flushed []byte, isMeta MetaClassifier, skip func(off int) bool) (ChangeSet, error) {
+	if len(current) != len(flushed) {
+		return ChangeSet{}, fmt.Errorf("core: diff image sizes differ: %d vs %d", len(current), len(flushed))
+	}
+	var cs ChangeSet
+	for i := range current {
+		if current[i] == flushed[i] {
+			continue
+		}
+		if skip != nil && skip(i) {
+			continue
+		}
+		p := Pair{Off: uint16(i), Val: current[i]}
+		if isMeta != nil && isMeta(i) {
+			cs.Meta = append(cs.Meta, p)
+		} else {
+			cs.Body = append(cs.Body, p)
+		}
+	}
+	return cs, nil
+}
+
+// Plan decides, per Section 6.2 of the paper, whether a change set can be
+// absorbed as In-Place Appends given that the page already holds used of
+// the scheme's N delta-records, and if so materialises the new records.
+//
+// The budget is Cp = (N − used)·M body bytes and (N − used)·V metadata
+// bytes; ⌈U/M⌉ records are produced (at least enough to also cover the
+// metadata pairs). ErrSchemeOverflow signals that the page must be written
+// out-of-place instead.
+func (s Scheme) Plan(cs ChangeSet, used int) ([]DeltaRecord, error) {
+	if s.Disabled() {
+		return nil, ErrSchemeOverflow
+	}
+	if used < 0 || used > s.N {
+		return nil, fmt.Errorf("%w: used=%d of N=%d", ErrBadScheme, used, s.N)
+	}
+	if cs.Empty() {
+		return nil, nil
+	}
+	free := s.N - used
+	if free == 0 {
+		return nil, ErrSchemeOverflow
+	}
+	need := (len(cs.Body) + s.M - 1) / s.M
+	if s.V > 0 {
+		if mn := (len(cs.Meta) + s.V - 1) / s.V; mn > need {
+			need = mn
+		}
+	} else if len(cs.Meta) > 0 {
+		return nil, ErrSchemeOverflow
+	}
+	if need == 0 {
+		need = 1
+	}
+	if need > free {
+		return nil, ErrSchemeOverflow
+	}
+	// Deterministic record contents: pairs in offset order.
+	body := append([]Pair(nil), cs.Body...)
+	meta := append([]Pair(nil), cs.Meta...)
+	sort.Slice(body, func(i, j int) bool { return body[i].Off < body[j].Off })
+	sort.Slice(meta, func(i, j int) bool { return meta[i].Off < meta[j].Off })
+
+	recs := make([]DeltaRecord, need)
+	for i := range recs {
+		bLo, bHi := i*s.M, (i+1)*s.M
+		if bLo > len(body) {
+			bLo = len(body)
+		}
+		if bHi > len(body) {
+			bHi = len(body)
+		}
+		mLo, mHi := i*s.V, (i+1)*s.V
+		if mLo > len(meta) {
+			mLo = len(meta)
+		}
+		if mHi > len(meta) {
+			mHi = len(meta)
+		}
+		recs[i] = DeltaRecord{Body: body[bLo:bHi], Meta: meta[mLo:mHi]}
+	}
+	return recs, nil
+}
+
+// FitsBudget reports whether a change set of u body bytes and v metadata
+// bytes could still be absorbed with used records already present. This is
+// the cheap check the buffer manager runs while tracking updates (the
+// paper's U ≤ Cp test) without materialising records.
+func (s Scheme) FitsBudget(u, v, used int) bool {
+	if s.Disabled() {
+		return false
+	}
+	free := s.N - used
+	if free <= 0 {
+		return false
+	}
+	if u > free*s.M {
+		return false
+	}
+	if v > free*s.V {
+		return false
+	}
+	// The records needed for body and metadata changes overlap (each record
+	// carries both), so the binding constraint is the max of the two.
+	need := (u + s.M - 1) / s.M
+	if s.V > 0 {
+		if mn := (v + s.V - 1) / s.V; mn > need {
+			need = mn
+		}
+	}
+	if need == 0 {
+		need = 1
+	}
+	return need <= free
+}

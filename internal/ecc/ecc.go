@@ -1,0 +1,163 @@
+// Package ecc implements the classic NAND-flash error-correcting code:
+// per-256-byte-chunk row/column parity (the "SmartMedia" ECC), 3 code
+// bytes per chunk, correcting any single-bit error and detecting double
+// bit errors within a chunk.
+//
+// The paper (Sec. 6.2, "Flash ECC and Page OOB Area") requires the ECC
+// strategy to be sectioned for In-Place Appends: one code over the page
+// body programmed with the initial page write (ECC_initial), plus one
+// code per delta-record appended — via ISPP — together with the record
+// (ECC_delta_i). This package provides the per-section codes; the storage
+// layer lays them out in the page's OOB area.
+package ecc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ChunkSize is the data block covered by one code word.
+const ChunkSize = 256
+
+// CodeSize is the size of one code word in bytes.
+const CodeSize = 3
+
+// Errors returned by Correct.
+var (
+	// ErrUncorrectable marks a chunk with more errors than the code can
+	// repair (≥2 data bit errors).
+	ErrUncorrectable = errors.New("ecc: uncorrectable error")
+)
+
+// CodeLen returns the number of code bytes needed to protect n data bytes.
+func CodeLen(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	chunks := (n + ChunkSize - 1) / ChunkSize
+	return chunks * CodeSize
+}
+
+// computeChunk builds the 22-bit row/column parity code for one chunk of
+// up to 256 bytes (short chunks are treated as if padded with 0xFF, the
+// erased flash state, so codes over partially-erased regions stay stable).
+func computeChunk(data []byte) [CodeSize]byte {
+	var lp, lpInv byte  // line (byte-index) parity and its complement
+	var cp, cpInv uint8 // column (bit-index) parity and its complement
+	var colAcc byte     // xor of all bytes: odd columns have their bit set
+
+	for i := 0; i < ChunkSize; i++ {
+		b := byte(0xFF)
+		if i < len(data) {
+			b = data[i]
+		}
+		colAcc ^= b
+		if bits.OnesCount8(b)%2 == 1 {
+			lp ^= byte(i)
+			lpInv ^= ^byte(i)
+		}
+	}
+	for j := 0; j < 8; j++ {
+		if colAcc>>uint(j)&1 == 1 {
+			cp ^= uint8(j)
+			cpInv ^= ^uint8(j) & 0x07
+		}
+	}
+	return [CodeSize]byte{lp, lpInv, cp<<4 | cpInv<<1}
+}
+
+// Encode computes the code bytes for data, one CodeSize group per
+// ChunkSize chunk, into a freshly allocated slice of CodeLen(len(data)).
+func Encode(data []byte) []byte {
+	out := make([]byte, 0, CodeLen(len(data)))
+	for off := 0; off < len(data); off += ChunkSize {
+		end := off + ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		c := computeChunk(data[off:end])
+		out = append(out, c[:]...)
+	}
+	return out
+}
+
+// Correct verifies data against code (as produced by Encode for a buffer
+// of the same length), repairing single-bit errors in place. It returns
+// the number of corrected bits. ErrUncorrectable is returned when any
+// chunk holds an unrepairable error pattern.
+func Correct(data, code []byte) (corrected int, err error) {
+	want := CodeLen(len(data))
+	if len(code) != want {
+		return 0, fmt.Errorf("ecc: code length %d, want %d for %d data bytes", len(code), want, len(data))
+	}
+	ci := 0
+	for off := 0; off < len(data); off += ChunkSize {
+		end := off + ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[off:end]
+		n, cerr := correctChunk(chunk, code[ci:ci+CodeSize], end-off)
+		if cerr != nil {
+			return corrected, fmt.Errorf("%w: chunk at offset %d", cerr, off)
+		}
+		corrected += n
+		ci += CodeSize
+	}
+	return corrected, nil
+}
+
+func correctChunk(chunk, code []byte, realLen int) (int, error) {
+	have := computeChunk(chunk)
+	dLP := have[0] ^ code[0]
+	dLPInv := have[1] ^ code[1]
+	dCol := have[2] ^ code[2]
+	if dLP == 0 && dLPInv == 0 && dCol == 0 {
+		return 0, nil
+	}
+	dCP := dCol >> 4 & 0x07
+	dCPInv := dCol >> 1 & 0x07
+	// Single-bit data error: every parity/complement pair disagrees
+	// completely, pinpointing the byte (dLP) and bit (dCP).
+	if dLP^dLPInv == 0xFF && dCP^dCPInv == 0x07 {
+		byteIdx := int(dLP)
+		bitIdx := uint(dCP)
+		if byteIdx >= realLen {
+			// The flipped "bit" lies in the conceptual 0xFF padding —
+			// impossible for stored data, so this is a code corruption.
+			return 0, ErrUncorrectable
+		}
+		chunk[byteIdx] ^= 1 << bitIdx
+		return 1, nil
+	}
+	// Single-bit error in the code word itself: exactly one differing bit
+	// across the syndrome. Data is fine.
+	ones := bits.OnesCount8(dLP) + bits.OnesCount8(dLPInv) + bits.OnesCount8(dCol)
+	if ones == 1 {
+		return 0, nil
+	}
+	return 0, ErrUncorrectable
+}
+
+// Sections computes independent codes for a page body and each
+// delta-record slot, mirroring the paper's ECC_initial + ECC_delta_i
+// layout. body is the page prefix up to the delta area; slots are the
+// delta-record regions.
+type Sections struct {
+	BodyLen int // bytes covered by the body code
+	SlotLen int // bytes per delta-record slot
+	Slots   int // number of delta-record slots
+}
+
+// BodyCodeLen returns the OOB bytes used by the body code.
+func (s Sections) BodyCodeLen() int { return CodeLen(s.BodyLen) }
+
+// SlotCodeLen returns the OOB bytes used by one delta-record code.
+func (s Sections) SlotCodeLen() int { return CodeLen(s.SlotLen) }
+
+// TotalCodeLen returns the OOB bytes used by all sections.
+func (s Sections) TotalCodeLen() int { return s.BodyCodeLen() + s.Slots*s.SlotCodeLen() }
+
+// SlotCodeOff returns the OOB offset of the code for delta slot i.
+func (s Sections) SlotCodeOff(i int) int { return s.BodyCodeLen() + i*s.SlotCodeLen() }

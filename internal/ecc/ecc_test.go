@@ -1,0 +1,171 @@
+package ecc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodeLen(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 3}, {255, 3}, {256, 3}, {257, 6}, {4096, 48},
+	}
+	for _, c := range cases {
+		if got := CodeLen(c.n); got != c.want {
+			t.Errorf("CodeLen(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCleanDataVerifies(t *testing.T) {
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	code := Encode(data)
+	n, err := Correct(data, code)
+	if err != nil || n != 0 {
+		t.Errorf("Correct clean = (%d, %v)", n, err)
+	}
+}
+
+func TestSingleBitErrorCorrected(t *testing.T) {
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	code := Encode(data)
+	orig := append([]byte(nil), data...)
+	for _, pos := range []int{0, 7, 255 * 8, 256 * 8, 511*8 + 7} {
+		copy(data, orig)
+		data[pos/8] ^= 1 << (pos % 8)
+		n, err := Correct(data, code)
+		if err != nil {
+			t.Fatalf("bit %d: %v", pos, err)
+		}
+		if n != 1 {
+			t.Errorf("bit %d: corrected %d", pos, n)
+		}
+		if !bytes.Equal(data, orig) {
+			t.Errorf("bit %d: data not restored", pos)
+		}
+	}
+}
+
+func TestOneErrorPerChunkCorrected(t *testing.T) {
+	data := make([]byte, 1024) // 4 chunks
+	code := Encode(data)
+	orig := append([]byte(nil), data...)
+	for c := 0; c < 4; c++ {
+		data[c*256+c] ^= 0x10
+	}
+	n, err := Correct(data, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("corrected %d, want 4", n)
+	}
+	if !bytes.Equal(data, orig) {
+		t.Error("data not restored")
+	}
+}
+
+func TestDoubleBitErrorDetected(t *testing.T) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i ^ 0x5A)
+	}
+	code := Encode(data)
+	data[3] ^= 0x01
+	data[200] ^= 0x80
+	if _, err := Correct(data, code); !errors.Is(err, ErrUncorrectable) {
+		t.Errorf("double error: %v, want ErrUncorrectable", err)
+	}
+}
+
+func TestCodeBitErrorIgnored(t *testing.T) {
+	data := make([]byte, 256)
+	code := Encode(data)
+	code[0] ^= 0x04 // single flipped bit in the code word
+	n, err := Correct(data, code)
+	if err != nil {
+		t.Fatalf("code-word error: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("corrected %d, want 0", n)
+	}
+}
+
+func TestShortChunkStableUnderErasedPadding(t *testing.T) {
+	// Codes over short regions treat the tail as erased (0xFF): the code
+	// of a 46-byte delta record must not change if recomputed with the
+	// same bytes.
+	rec := bytes.Repeat([]byte{0x21}, 46)
+	c1 := Encode(rec)
+	c2 := Encode(append([]byte(nil), rec...))
+	if !bytes.Equal(c1, c2) {
+		t.Error("code not deterministic")
+	}
+	rec[10] ^= 0x40
+	c3 := Encode(rec)
+	if bytes.Equal(c1, c3) {
+		t.Error("code did not change with data")
+	}
+}
+
+func TestCorrectLengthMismatch(t *testing.T) {
+	if _, err := Correct(make([]byte, 256), make([]byte, 2)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSectionsLayout(t *testing.T) {
+	s := Sections{BodyLen: 4004, SlotLen: 46, Slots: 2}
+	if s.BodyCodeLen() != 48 { // ceil(4004/256)=16 chunks
+		t.Errorf("BodyCodeLen = %d", s.BodyCodeLen())
+	}
+	if s.SlotCodeLen() != 3 {
+		t.Errorf("SlotCodeLen = %d", s.SlotCodeLen())
+	}
+	if s.TotalCodeLen() != 48+6 {
+		t.Errorf("TotalCodeLen = %d", s.TotalCodeLen())
+	}
+	if s.SlotCodeOff(1) != 51 {
+		t.Errorf("SlotCodeOff(1) = %d", s.SlotCodeOff(1))
+	}
+}
+
+// Property: any single flipped data bit is corrected back to the original
+// for random data and random sizes.
+func TestPropertySingleBitAlwaysCorrected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(1024)
+		data := make([]byte, n)
+		rng.Read(data)
+		code := Encode(data)
+		orig := append([]byte(nil), data...)
+		pos := rng.Intn(n * 8)
+		data[pos/8] ^= 1 << (pos % 8)
+		c, err := Correct(data, code)
+		return err == nil && c == 1 && bytes.Equal(data, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: clean random data always verifies with zero corrections.
+func TestPropertyCleanVerifies(t *testing.T) {
+	f := func(data []byte) bool {
+		code := Encode(data)
+		n, err := Correct(data, code)
+		return err == nil && n == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

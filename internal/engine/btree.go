@@ -1,0 +1,533 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ipa/internal/buffer"
+	"ipa/internal/core"
+	"ipa/internal/page"
+	"ipa/internal/sim"
+)
+
+// Index is a page-based B+tree mapping uint64 keys to RIDs. Index pages
+// live in a region and move through the same buffer pool and flush path
+// as heap pages, so index updates also benefit from In-Place Appends
+// ("frequently updated tables *or indices*", paper Sec. 1).
+//
+// The index is a non-logged structure: it is rebuilt from its table
+// after restart recovery (a common recovery strategy for secondary
+// structures), which keeps the WAL focused on tuple data.
+type Index struct {
+	db   *DB
+	st   *PageStore
+	name string
+	root core.PageID
+}
+
+// Node layout, written directly into the page body:
+//
+//	leaf (FlagIndex|FlagLeaf):     count:uint16, entries[count]{key:u64, page:u64, slot:u16}
+//	internal (FlagIndex):          count:uint16, child0:u64, entries[count]{key:u64, child:u64}
+//
+// An internal node routes key < entries[0].key to child0, and key ≥
+// entries[i].key (last such i) to entries[i].child. Leaves are chained
+// via NextPage for range scans.
+const (
+	leafEntrySize = 18
+	intEntrySize  = 16
+	nodeCountOff  = page.HeaderSize
+	nodeBodyOff   = page.HeaderSize + 2
+)
+
+// ErrKeyExists is returned on duplicate insert.
+var ErrKeyExists = errors.New("engine: key already in index")
+
+// CreateIndex creates an empty B+tree placed in the named region.
+func (db *DB) CreateIndex(name, regionName string) (*Index, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st, err := db.attachRegionLocked(regionName)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{db: db, st: st, name: name}
+	fr, pg, err := db.newPageLocked(nil, st, 0, page.FlagIndex|page.FlagLeaf)
+	if err != nil {
+		return nil, err
+	}
+	ix.root = pg.ID()
+	if err := db.pool.Unpin(nil, fr, true, db.log.Head()); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Root returns the current root page id.
+func (ix *Index) Root() core.PageID {
+	ix.db.mu.Lock()
+	defer ix.db.mu.Unlock()
+	return ix.root
+}
+
+// --- node accessors (operate on raw frame data) -----------------------
+
+type node struct {
+	fr   *buffer.Frame
+	pg   *page.Page
+	leaf bool
+	cap  int // max entries
+}
+
+func (ix *Index) node(fr *buffer.Frame) (*node, error) {
+	pg, err := page.Attach(fr.Data, ix.st.layout)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{fr: fr, pg: pg, leaf: pg.Flags()&page.FlagLeaf != 0}
+	body := ix.st.layout.DeltaAreaStart() - nodeBodyOff
+	if n.leaf {
+		n.cap = body / leafEntrySize
+	} else {
+		n.cap = (body - 8) / intEntrySize
+	}
+	return n, nil
+}
+
+func (n *node) count() int {
+	return int(binary.LittleEndian.Uint16(n.fr.Data[nodeCountOff:]))
+}
+
+func (n *node) setCount(c int) {
+	binary.LittleEndian.PutUint16(n.fr.Data[nodeCountOff:], uint16(c))
+}
+
+// leaf entries
+func (n *node) leafKey(i int) uint64 {
+	off := nodeBodyOff + i*leafEntrySize
+	return binary.LittleEndian.Uint64(n.fr.Data[off:])
+}
+
+func (n *node) leafRID(i int) core.RID {
+	off := nodeBodyOff + i*leafEntrySize
+	return core.RID{
+		Page: core.PageID(binary.LittleEndian.Uint64(n.fr.Data[off+8:])),
+		Slot: binary.LittleEndian.Uint16(n.fr.Data[off+16:]),
+	}
+}
+
+func (n *node) setLeaf(i int, key uint64, rid core.RID) {
+	off := nodeBodyOff + i*leafEntrySize
+	binary.LittleEndian.PutUint64(n.fr.Data[off:], key)
+	binary.LittleEndian.PutUint64(n.fr.Data[off+8:], uint64(rid.Page))
+	binary.LittleEndian.PutUint16(n.fr.Data[off+16:], rid.Slot)
+}
+
+// internal entries
+func (n *node) child0() core.PageID {
+	return core.PageID(binary.LittleEndian.Uint64(n.fr.Data[nodeBodyOff:]))
+}
+
+func (n *node) setChild0(id core.PageID) {
+	binary.LittleEndian.PutUint64(n.fr.Data[nodeBodyOff:], uint64(id))
+}
+
+func (n *node) intKey(i int) uint64 {
+	off := nodeBodyOff + 8 + i*intEntrySize
+	return binary.LittleEndian.Uint64(n.fr.Data[off:])
+}
+
+func (n *node) intChild(i int) core.PageID {
+	off := nodeBodyOff + 8 + i*intEntrySize
+	return core.PageID(binary.LittleEndian.Uint64(n.fr.Data[off+8:]))
+}
+
+func (n *node) setInt(i int, key uint64, child core.PageID) {
+	off := nodeBodyOff + 8 + i*intEntrySize
+	binary.LittleEndian.PutUint64(n.fr.Data[off:], key)
+	binary.LittleEndian.PutUint64(n.fr.Data[off+8:], uint64(child))
+}
+
+// leafSearch returns the position of key (found) or its insertion point.
+func (n *node) leafSearch(key uint64) (pos int, found bool) {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k := n.leafKey(mid)
+		if k == key {
+			return mid, true
+		}
+		if k < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// route returns the child to follow for key in an internal node.
+func (n *node) route(key uint64) core.PageID {
+	lo, hi := 0, n.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.intKey(mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return n.child0()
+	}
+	return n.intChild(lo - 1)
+}
+
+// --- operations --------------------------------------------------------
+
+// Lookup returns the RID stored under key.
+func (ix *Index) Lookup(w *sim.Worker, key uint64) (core.RID, bool, error) {
+	db := ix.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cur := ix.root
+	for {
+		fr, err := db.pool.Get(w, cur)
+		if err != nil {
+			return core.RID{}, false, err
+		}
+		n, err := ix.node(fr)
+		if err != nil {
+			db.pool.Unpin(w, fr, false, 0)
+			return core.RID{}, false, err
+		}
+		if n.leaf {
+			pos, found := n.leafSearch(key)
+			var rid core.RID
+			if found {
+				rid = n.leafRID(pos)
+			}
+			db.pool.Unpin(w, fr, false, 0)
+			return rid, found, nil
+		}
+		next := n.route(key)
+		db.pool.Unpin(w, fr, false, 0)
+		cur = next
+	}
+}
+
+// Insert adds key → rid. Duplicate keys are rejected.
+func (ix *Index) Insert(w *sim.Worker, key uint64, rid core.RID) error {
+	db := ix.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	sepKey, newChild, err := ix.insertRec(w, ix.root, key, rid)
+	if err != nil {
+		return err
+	}
+	if newChild == core.InvalidPageID {
+		return nil
+	}
+	// Root split: grow the tree by one level.
+	fr, pg, err := db.newPageLocked(w, ix.st, 0, page.FlagIndex)
+	if err != nil {
+		return err
+	}
+	n, err := ix.node(fr)
+	if err != nil {
+		db.pool.Unpin(w, fr, false, 0)
+		return err
+	}
+	n.setChild0(ix.root)
+	n.setInt(0, sepKey, newChild)
+	n.setCount(1)
+	ix.root = pg.ID()
+	return db.pool.Unpin(w, fr, true, db.log.Head())
+}
+
+// insertRec descends to the leaf; on split it returns the separator key
+// and the new right sibling's id.
+func (ix *Index) insertRec(w *sim.Worker, nodeID core.PageID, key uint64, rid core.RID) (uint64, core.PageID, error) {
+	db := ix.db
+	fr, err := db.pool.Get(w, nodeID)
+	if err != nil {
+		return 0, core.InvalidPageID, err
+	}
+	n, err := ix.node(fr)
+	if err != nil {
+		db.pool.Unpin(w, fr, false, 0)
+		return 0, core.InvalidPageID, err
+	}
+	if n.leaf {
+		pos, found := n.leafSearch(key)
+		if found {
+			db.pool.Unpin(w, fr, false, 0)
+			return 0, core.InvalidPageID, fmt.Errorf("%w: %d", ErrKeyExists, key)
+		}
+		if n.count() < n.cap {
+			insertLeafAt(n, pos, key, rid)
+			return 0, core.InvalidPageID, db.pool.Unpin(w, fr, true, db.log.Head())
+		}
+		// Split the leaf.
+		rfr, rpg, err := db.newPageLocked(w, ix.st, 0, page.FlagIndex|page.FlagLeaf)
+		if err != nil {
+			db.pool.Unpin(w, fr, false, 0)
+			return 0, core.InvalidPageID, err
+		}
+		rn, err := ix.node(rfr)
+		if err != nil {
+			db.pool.Unpin(w, fr, false, 0)
+			db.pool.Unpin(w, rfr, false, 0)
+			return 0, core.InvalidPageID, err
+		}
+		mid := n.count() / 2
+		moved := n.count() - mid
+		for i := 0; i < moved; i++ {
+			rn.setLeaf(i, n.leafKey(mid+i), n.leafRID(mid+i))
+		}
+		rn.setCount(moved)
+		n.setCount(mid)
+		rn.pg.SetNextPage(n.pg.NextPage())
+		n.pg.SetNextPage(rpg.ID())
+		sep := rn.leafKey(0)
+		if key >= sep {
+			p, _ := rn.leafSearch(key)
+			insertLeafAt(rn, p, key, rid)
+		} else {
+			p, _ := n.leafSearch(key)
+			insertLeafAt(n, p, key, rid)
+		}
+		head := db.log.Head()
+		if err := db.pool.Unpin(w, fr, true, head); err != nil {
+			return 0, core.InvalidPageID, err
+		}
+		if err := db.pool.Unpin(w, rfr, true, head); err != nil {
+			return 0, core.InvalidPageID, err
+		}
+		return sep, rpg.ID(), nil
+	}
+
+	child := n.route(key)
+	// Release the parent pin during descent (no latch coupling needed:
+	// everything runs under the engine mutex).
+	db.pool.Unpin(w, fr, false, 0)
+	sepKey, newChild, err := ix.insertRec(w, child, key, rid)
+	if err != nil || newChild == core.InvalidPageID {
+		return 0, core.InvalidPageID, err
+	}
+	// Re-pin the parent to install the new separator.
+	fr, err = db.pool.Get(w, nodeID)
+	if err != nil {
+		return 0, core.InvalidPageID, err
+	}
+	n, err = ix.node(fr)
+	if err != nil {
+		db.pool.Unpin(w, fr, false, 0)
+		return 0, core.InvalidPageID, err
+	}
+	if n.count() < n.cap {
+		insertIntAt(n, sepKey, newChild)
+		return 0, core.InvalidPageID, db.pool.Unpin(w, fr, true, db.log.Head())
+	}
+	// Split the internal node.
+	rfr, rpg, err := db.newPageLocked(w, ix.st, 0, page.FlagIndex)
+	if err != nil {
+		db.pool.Unpin(w, fr, false, 0)
+		return 0, core.InvalidPageID, err
+	}
+	rn, err := ix.node(rfr)
+	if err != nil {
+		db.pool.Unpin(w, fr, false, 0)
+		db.pool.Unpin(w, rfr, false, 0)
+		return 0, core.InvalidPageID, err
+	}
+	mid := n.count() / 2
+	upKey := n.intKey(mid)
+	rn.setChild0(n.intChild(mid))
+	cnt := 0
+	for i := mid + 1; i < n.count(); i++ {
+		rn.setInt(cnt, n.intKey(i), n.intChild(i))
+		cnt++
+	}
+	rn.setCount(cnt)
+	n.setCount(mid)
+	if sepKey >= upKey {
+		insertIntAt(rn, sepKey, newChild)
+	} else {
+		insertIntAt(n, sepKey, newChild)
+	}
+	head := db.log.Head()
+	if err := db.pool.Unpin(w, fr, true, head); err != nil {
+		return 0, core.InvalidPageID, err
+	}
+	if err := db.pool.Unpin(w, rfr, true, head); err != nil {
+		return 0, core.InvalidPageID, err
+	}
+	return upKey, rpg.ID(), nil
+}
+
+func insertLeafAt(n *node, pos int, key uint64, rid core.RID) {
+	for i := n.count(); i > pos; i-- {
+		n.setLeaf(i, n.leafKey(i-1), n.leafRID(i-1))
+	}
+	n.setLeaf(pos, key, rid)
+	n.setCount(n.count() + 1)
+}
+
+func insertIntAt(n *node, key uint64, child core.PageID) {
+	pos := 0
+	for pos < n.count() && n.intKey(pos) < key {
+		pos++
+	}
+	for i := n.count(); i > pos; i-- {
+		n.setInt(i, n.intKey(i-1), n.intChild(i-1))
+	}
+	n.setInt(pos, key, child)
+	n.setCount(n.count() + 1)
+}
+
+// Update changes the RID stored under an existing key (e.g. after a
+// tuple relocation).
+func (ix *Index) Update(w *sim.Worker, key uint64, rid core.RID) error {
+	db := ix.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cur := ix.root
+	for {
+		fr, err := db.pool.Get(w, cur)
+		if err != nil {
+			return err
+		}
+		n, err := ix.node(fr)
+		if err != nil {
+			db.pool.Unpin(w, fr, false, 0)
+			return err
+		}
+		if n.leaf {
+			pos, found := n.leafSearch(key)
+			if !found {
+				db.pool.Unpin(w, fr, false, 0)
+				return fmt.Errorf("engine: index %q has no key %d", ix.name, key)
+			}
+			n.setLeaf(pos, key, rid)
+			return db.pool.Unpin(w, fr, true, db.log.Head())
+		}
+		next := n.route(key)
+		db.pool.Unpin(w, fr, false, 0)
+		cur = next
+	}
+}
+
+// Delete removes a key (lazy deletion: leaves are never merged, which is
+// adequate for the OLTP workloads where deletes are rare).
+func (ix *Index) Delete(w *sim.Worker, key uint64) (bool, error) {
+	db := ix.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cur := ix.root
+	for {
+		fr, err := db.pool.Get(w, cur)
+		if err != nil {
+			return false, err
+		}
+		n, err := ix.node(fr)
+		if err != nil {
+			db.pool.Unpin(w, fr, false, 0)
+			return false, err
+		}
+		if n.leaf {
+			pos, found := n.leafSearch(key)
+			if !found {
+				db.pool.Unpin(w, fr, false, 0)
+				return false, nil
+			}
+			for i := pos; i < n.count()-1; i++ {
+				n.setLeaf(i, n.leafKey(i+1), n.leafRID(i+1))
+			}
+			n.setCount(n.count() - 1)
+			return true, db.pool.Unpin(w, fr, true, db.log.Head())
+		}
+		next := n.route(key)
+		db.pool.Unpin(w, fr, false, 0)
+		cur = next
+	}
+}
+
+// Range visits keys in [lo, hi] in order until fn returns false. The
+// engine latch is released while fn runs, so the callback may perform
+// table reads; keys inserted concurrently may or may not be seen.
+func (ix *Index) Range(w *sim.Worker, lo, hi uint64, fn func(key uint64, rid core.RID) bool) error {
+	db := ix.db
+	// Descend to the leaf containing lo.
+	db.mu.Lock()
+	cur := ix.root
+	for {
+		fr, err := db.pool.Get(w, cur)
+		if err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		n, err := ix.node(fr)
+		if err != nil {
+			db.pool.Unpin(w, fr, false, 0)
+			db.mu.Unlock()
+			return err
+		}
+		if n.leaf {
+			db.pool.Unpin(w, fr, false, 0)
+			break
+		}
+		next := n.route(lo)
+		db.pool.Unpin(w, fr, false, 0)
+		cur = next
+	}
+	db.mu.Unlock()
+	// Walk the leaf chain, buffering each leaf's entries and invoking the
+	// callback outside the latch.
+	for cur != core.InvalidPageID {
+		db.mu.Lock()
+		fr, err := db.pool.Get(w, cur)
+		if err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		n, err := ix.node(fr)
+		if err != nil {
+			db.pool.Unpin(w, fr, false, 0)
+			db.mu.Unlock()
+			return err
+		}
+		type kv struct {
+			k uint64
+			r core.RID
+		}
+		var items []kv
+		done := false
+		start, _ := n.leafSearch(lo)
+		for i := start; i < n.count(); i++ {
+			k := n.leafKey(i)
+			if k > hi {
+				done = true
+				break
+			}
+			items = append(items, kv{k, n.leafRID(i)})
+		}
+		next := n.pg.NextPage()
+		db.pool.Unpin(w, fr, false, 0)
+		db.mu.Unlock()
+		for _, it := range items {
+			if !fn(it.k, it.r) {
+				return nil
+			}
+		}
+		if done {
+			return nil
+		}
+		cur = next
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"ipa/internal/buffer"
+	"ipa/internal/core"
+	"ipa/internal/noftl"
+	"ipa/internal/page"
+	"ipa/internal/sim"
+	"ipa/internal/wal"
+)
+
+// Options configures a database instance.
+type Options struct {
+	// PageSize of database pages; must equal the flash page size. Zero
+	// selects 4096.
+	PageSize int
+	// BufferFrames in the pool.
+	BufferFrames int
+	// LogCapacity in bytes; 0 means unbounded (no log-space pressure).
+	LogCapacity int
+	// LogReclaimThreshold: reclaim log space (flushing old dirty pages and
+	// checkpointing) when usage exceeds this fraction. Zero selects 0.35,
+	// inside Shore-MT's eager 25–50% window.
+	LogReclaimThreshold float64
+	// DirtyThreshold / CleanBatch tune the buffer cleaner (see buffer
+	// package); DirtyThreshold 0 = eager 12.5%, 0.75 = the paper's
+	// non-eager configuration.
+	DirtyThreshold float64
+	CleanBatch     int
+	// UseECC enables sectioned ECC in the OOB area.
+	UseECC bool
+	// Timeline provides simulated time; optional.
+	Timeline *sim.Timeline
+}
+
+func (o Options) pageSize() int {
+	if o.PageSize <= 0 {
+		return 4096
+	}
+	return o.PageSize
+}
+
+func (o Options) reclaimThreshold() float64 {
+	if o.LogReclaimThreshold <= 0 {
+		return 0.35
+	}
+	return o.LogReclaimThreshold
+}
+
+// DB is the storage engine instance: catalog, buffer pool, WAL and the
+// per-region page stores. All public methods are safe for concurrent use;
+// operations serialise on an engine latch while simulated time still
+// overlaps through per-worker clocks.
+type DB struct {
+	mu   sync.Mutex
+	dev  *noftl.Device
+	log  *wal.Log
+	pool *buffer.Pool
+	opts Options
+
+	stores      map[string]*PageStore // by region name
+	pageDir     map[core.PageID]*PageStore
+	tables      map[string]*Table
+	tablespaces map[string]string // tablespace name → region name (DDL)
+
+	nextPage core.PageID
+	nextTx   uint64
+	active   map[uint64]*Tx
+	// locks is a no-wait exclusive lock table at RID granularity:
+	// conflicting updates fail immediately with ErrLockConflict (no-wait
+	// deadlock avoidance), and locks are held until commit/abort.
+	locks map[core.RID]uint64
+
+	cleaner     *sim.Worker
+	checkpoints uint64
+	reclaims    uint64
+	inRecovery  bool
+}
+
+// router dispatches buffer.Store calls to the page's owning store.
+type router struct{ db *DB }
+
+func (r router) Fetch(w *sim.Worker, id core.PageID, buf []byte) (int, error) {
+	st := r.db.pageDir[id]
+	if st == nil {
+		return 0, fmt.Errorf("%w: page %d has no store", noftl.ErrUnknownPage, id)
+	}
+	return st.Fetch(w, id, buf)
+}
+
+func (r router) Flush(w *sim.Worker, fr *buffer.Frame) error {
+	st := r.db.pageDir[fr.ID]
+	if st == nil {
+		return fmt.Errorf("%w: page %d has no store", noftl.ErrUnknownPage, fr.ID)
+	}
+	return st.Flush(w, fr)
+}
+
+// New creates a database over a NoFTL device.
+func New(dev *noftl.Device, opts Options) (*DB, error) {
+	db := &DB{
+		dev:      dev,
+		log:      wal.NewLog(opts.LogCapacity),
+		opts:     opts,
+		stores:   make(map[string]*PageStore),
+		pageDir:  make(map[core.PageID]*PageStore),
+		tables:   make(map[string]*Table),
+		nextPage: 1,
+		nextTx:   1,
+		active:   make(map[uint64]*Tx),
+		locks:    make(map[core.RID]uint64),
+	}
+	if opts.Timeline != nil {
+		db.cleaner = opts.Timeline.NewWorker()
+	}
+	pool, err := buffer.New(buffer.Config{
+		Frames:         opts.BufferFrames,
+		PageSize:       opts.pageSize(),
+		DirtyThreshold: opts.DirtyThreshold,
+		CleanBatch:     opts.CleanBatch,
+		Cleaner:        db.cleaner,
+	}, router{db})
+	if err != nil {
+		return nil, err
+	}
+	db.pool = pool
+	return db, nil
+}
+
+// Log exposes the write-ahead log (read-only use by tools/tests).
+func (db *DB) Log() *wal.Log { return db.log }
+
+// Pool exposes the buffer pool.
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// Device exposes the NoFTL device.
+func (db *DB) Device() *noftl.Device { return db.dev }
+
+// Checkpoints returns how many checkpoints have been taken.
+func (db *DB) Checkpoints() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpoints
+}
+
+// AttachRegion makes a NoFTL region usable as a tablespace, creating its
+// page store.
+func (db *DB) AttachRegion(regionName string) (*PageStore, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.attachRegionLocked(regionName)
+}
+
+func (db *DB) attachRegionLocked(regionName string) (*PageStore, error) {
+	if st, ok := db.stores[regionName]; ok {
+		return st, nil
+	}
+	region := db.dev.Region(regionName)
+	if region == nil {
+		return nil, fmt.Errorf("engine: no region %q", regionName)
+	}
+	st, err := NewPageStore(region, db.opts.pageSize(), db.opts.UseECC)
+	if err != nil {
+		return nil, err
+	}
+	db.stores[regionName] = st
+	return st, nil
+}
+
+// Store returns the page store of a region, or nil.
+func (db *DB) Store(regionName string) *PageStore {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.stores[regionName]
+}
+
+// allocPageLocked assigns a fresh page id owned by the store.
+func (db *DB) allocPageLocked(st *PageStore) core.PageID {
+	id := db.nextPage
+	db.nextPage++
+	db.pageDir[id] = st
+	return id
+}
+
+// newPageLocked allocates and formats a new page, returning it pinned.
+func (db *DB) newPageLocked(w *sim.Worker, st *PageStore, owner uint64, flags uint16) (*buffer.Frame, *page.Page, error) {
+	id := db.allocPageLocked(st)
+	fr, err := db.pool.GetNew(w, id)
+	if err != nil {
+		delete(db.pageDir, id)
+		return nil, nil, err
+	}
+	pg, err := page.Format(fr.Data, st.layout, id)
+	if err != nil {
+		db.pool.Unpin(w, fr, false, 0)
+		delete(db.pageDir, id)
+		return nil, nil, err
+	}
+	pg.SetOwner(owner)
+	pg.SetFlags(flags)
+	return fr, pg, nil
+}
+
+// maybeReclaimLocked emulates Shore-MT's eager log-space reclamation:
+// when the log fills past the threshold, the oldest dirty pages are
+// flushed, a fuzzy checkpoint is taken and the log tail advances.
+func (db *DB) maybeReclaimLocked(w *sim.Worker) error {
+	if db.log.Capacity() == 0 || db.log.Usage() <= db.opts.reclaimThreshold() {
+		return nil
+	}
+	db.reclaims++
+	cw := db.cleaner
+	if cw == nil {
+		cw = w
+	} else if w != nil {
+		cw.SetNow(w.Now())
+	}
+	if _, err := db.pool.FlushOldest(cw, db.pool.Size()/4+1); err != nil {
+		return err
+	}
+	return db.checkpointLocked(w)
+}
+
+// Checkpoint takes a fuzzy checkpoint and truncates the log.
+func (db *DB) Checkpoint(w *sim.Worker) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked(w)
+}
+
+func (db *DB) checkpointLocked(w *sim.Worker) error {
+	att := make(map[uint64]core.LSN, len(db.active))
+	var minTxFirst core.LSN
+	for id, tx := range db.active {
+		att[id] = tx.lastLSN
+		if minTxFirst == 0 || tx.firstLSN < minTxFirst {
+			minTxFirst = tx.firstLSN
+		}
+	}
+	dpt := db.pool.DirtyPages()
+	ckptLSN := db.log.Append(wal.Record{Type: wal.RecCheckpoint, ActiveTxs: att, DirtyPages: dpt})
+	db.log.Flush(ckptLSN)
+	db.checkpoints++
+
+	// The log tail can advance to the oldest LSN still needed: the
+	// earliest recLSN of a dirty page, the first LSN of an active
+	// transaction, or the checkpoint itself.
+	cut := ckptLSN
+	if r := db.pool.OldestRecLSN(); r != 0 && r < cut {
+		cut = r
+	}
+	if minTxFirst != 0 && minTxFirst < cut {
+		cut = minTxFirst
+	}
+	db.log.Truncate(cut)
+	return nil
+}
+
+// FlushAll forces every dirty page out (clean shutdown support).
+func (db *DB) FlushAll(w *sim.Worker) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.pool.FlushAll(w)
+}
+
+// ResizePool replaces the buffer pool with one of the given frame count
+// (flushing all dirty pages first). The experiment harness uses this to
+// set the buffer size to a percentage of the loaded database size, as the
+// paper's buffer-sweep experiments do.
+func (db *DB) ResizePool(w *sim.Worker, frames int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.pool.FlushAll(w); err != nil {
+		return err
+	}
+	pool, err := buffer.New(buffer.Config{
+		Frames:         frames,
+		PageSize:       db.opts.pageSize(),
+		DirtyThreshold: db.opts.DirtyThreshold,
+		CleanBatch:     db.opts.CleanBatch,
+		Cleaner:        db.cleaner,
+	}, router{db})
+	if err != nil {
+		return err
+	}
+	db.pool = pool
+	db.opts.BufferFrames = frames
+	return nil
+}
+
+// SimulateCrash throws away all volatile state — buffer pool contents and
+// the active-transaction table — keeping flash contents, the log and the
+// catalog (assumed on stable metadata storage, as NoFTL does). Restart
+// must call Recover before new work.
+func (db *DB) SimulateCrash() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pool, err := buffer.New(buffer.Config{
+		Frames:         db.opts.BufferFrames,
+		PageSize:       db.opts.pageSize(),
+		DirtyThreshold: db.opts.DirtyThreshold,
+		CleanBatch:     db.opts.CleanBatch,
+		Cleaner:        db.cleaner,
+	}, router{db})
+	if err != nil {
+		return err
+	}
+	db.pool = pool
+	db.active = make(map[uint64]*Tx)
+	db.locks = make(map[core.RID]uint64)
+	return nil
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"testing"
+
+	"ipa/internal/core"
+	"ipa/internal/flash"
+	"ipa/internal/noftl"
+)
+
+// TestRecoverMappingAfterPowerLoss wipes the NoFTL mapping entirely (a
+// power loss losing device metadata, not just DB buffers) and rebuilds it
+// by scanning flash: the newest copy of each logical page — determined by
+// the reconstructed PageLSN, so delta-records participate — must win over
+// stale pre-GC copies.
+func TestRecoverMappingAfterPowerLoss(t *testing.T) {
+	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 4), 16, false)
+	tbl, _ := r.db.CreateTable("t", "main")
+	sch, _ := NewSchema(8, 8, 104) // ~120B rows: ~3 per 512B page
+
+	// Rows with several overwrite generations so flash holds stale copies.
+	var rids []core.RID
+	for i := 0; i < 12; i++ {
+		tx := r.db.Begin(nil)
+		tup := sch.New()
+		sch.SetUint(tup, 0, uint64(i))
+		rid, err := tbl.Insert(tx, tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+		tx.Commit()
+	}
+	r.db.FlushAll(nil)
+	for gen := 1; gen <= 3; gen++ {
+		for i, rid := range rids {
+			tx := r.db.Begin(nil)
+			cur, _ := tbl.Read(nil, rid)
+			sch.SetUint(cur, 1, uint64(gen*100+i))
+			if err := tbl.Update(tx, rid, cur); err != nil {
+				t.Fatal(err)
+			}
+			tx.Commit()
+			r.db.FlushAll(nil) // some of these land as delta-records
+		}
+	}
+	st := r.db.Store("main")
+	if st.Stats().FlushesDelta == 0 {
+		t.Fatal("precondition: no delta writes")
+	}
+
+	// Snapshot the true mapping, then destroy it.
+	want := map[core.PageID]flash.PPN{}
+	for _, rid := range rids {
+		ppn, ok := st.Region().PPNOf(rid.Page)
+		if !ok {
+			t.Fatalf("page %d unmapped", rid.Page)
+		}
+		want[rid.Page] = ppn
+	}
+	if err := st.Region().Adopt(map[core.PageID]flash.PPN{}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Region().MappedPages() != 0 {
+		t.Fatal("mapping not wiped")
+	}
+	r.db.SimulateCrash() // buffers go too
+
+	// Rebuild from flash.
+	n, err := st.RecoverMapping(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < len(want) {
+		t.Fatalf("recovered %d pages, want ≥ %d", n, len(want))
+	}
+	if len(want) < 4 {
+		t.Fatalf("test sizing: rows span only %d pages", len(want))
+	}
+	for id, ppn := range want {
+		got, ok := st.Region().PPNOf(id)
+		if !ok {
+			t.Fatalf("page %d not recovered", id)
+		}
+		if got != ppn {
+			t.Errorf("page %d recovered at ppn %d, want %d (stale copy won?)", id, got, ppn)
+		}
+	}
+	// All data readable with the final generation's values.
+	for i, rid := range rids {
+		got, err := tbl.Read(nil, rid)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if v := sch.GetUint(got, 1); v != uint64(300+i) {
+			t.Errorf("row %d = %d, want %d", i, v, 300+i)
+		}
+	}
+	// The region keeps working after adoption: more writes and GC churn.
+	for round := 0; round < 3; round++ {
+		for i, rid := range rids {
+			tx := r.db.Begin(nil)
+			cur, _ := tbl.Read(nil, rid)
+			sch.SetUint(cur, 1, uint64(1000+round*100+i))
+			if err := tbl.Update(tx, rid, cur); err != nil {
+				t.Fatalf("post-adopt update: %v", err)
+			}
+			tx.Commit()
+			r.db.FlushAll(nil)
+		}
+	}
+	for i, rid := range rids {
+		got, _ := tbl.Read(nil, rid)
+		if v := sch.GetUint(got, 1); v != uint64(1200+i) {
+			t.Errorf("post-adopt row %d = %d", i, v)
+		}
+	}
+}
+
+// TestAdoptValidation rejects foreign pages and over-capacity mappings.
+func TestAdoptValidation(t *testing.T) {
+	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 4), 8, false)
+	st, err := r.db.AttachRegion("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := flash.PPN(1 << 40)
+	if err := st.Region().Adopt(map[core.PageID]flash.PPN{1: huge}); err == nil {
+		t.Error("foreign ppn accepted")
+	}
+}

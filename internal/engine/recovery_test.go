@@ -1,0 +1,265 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"ipa/internal/core"
+	"ipa/internal/noftl"
+)
+
+func TestRecoveryRedoesCommittedWork(t *testing.T) {
+	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
+	tbl, _ := r.db.CreateTable("t", "main")
+	sch, _ := NewSchema(8)
+
+	tx := r.db.Begin(nil)
+	tup := sch.New()
+	sch.SetUint(tup, 0, 7)
+	rid, _ := tbl.Insert(tx, tup)
+	tx.Commit()
+	// Crash WITHOUT flushing: the page never reached flash; only the log
+	// survives.
+	if err := r.db.SimulateCrash(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.db.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RedoneOps == 0 {
+		t.Error("nothing redone")
+	}
+	got, err := tbl.Read(nil, rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.GetUint(got, 0) != 7 {
+		t.Errorf("value = %d, want 7", sch.GetUint(got, 0))
+	}
+}
+
+func TestRecoveryUndoesLosers(t *testing.T) {
+	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
+	tbl, _ := r.db.CreateTable("t", "main")
+	sch, _ := NewSchema(8)
+
+	tx := r.db.Begin(nil)
+	tup := sch.New()
+	sch.SetUint(tup, 0, 42)
+	rid, _ := tbl.Insert(tx, tup)
+	tx.Commit()
+	r.db.FlushAll(nil)
+
+	// Loser transaction: small update flushed to flash (as a
+	// delta-record) but never committed.
+	loser := r.db.Begin(nil)
+	cur, _ := tbl.Read(nil, rid)
+	sch.SetUint(cur, 0, 43)
+	tbl.Update(loser, rid, cur)
+	r.db.FlushAll(nil)
+	if r.db.Store("main").Stats().FlushesDelta == 0 {
+		t.Fatal("precondition: loser's change should have flushed as delta")
+	}
+
+	if err := r.db.SimulateCrash(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.db.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UndoneTxs != 1 {
+		t.Errorf("UndoneTxs = %d, want 1", rep.UndoneTxs)
+	}
+	got, _ := tbl.Read(nil, rid)
+	if sch.GetUint(got, 0) != 42 {
+		t.Errorf("after recovery value = %d, want 42", sch.GetUint(got, 0))
+	}
+}
+
+func TestRecoveryIdempotent(t *testing.T) {
+	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
+	tbl, _ := r.db.CreateTable("t", "main")
+	sch, _ := NewSchema(8)
+	tx := r.db.Begin(nil)
+	tup := sch.New()
+	sch.SetUint(tup, 0, 5)
+	rid, _ := tbl.Insert(tx, tup)
+	tx.Commit()
+	r.db.SimulateCrash()
+	if _, err := r.db.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Crash again right after recovery, before any flush.
+	r.db.SimulateCrash()
+	if _, err := r.db.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.Read(nil, rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.GetUint(got, 0) != 5 {
+		t.Errorf("value = %d, want 5", sch.GetUint(got, 0))
+	}
+}
+
+func TestRecoveryMixedWorkload(t *testing.T) {
+	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 4), 8, false)
+	tbl, _ := r.db.CreateTable("t", "main")
+	sch, _ := NewSchema(8, 8)
+
+	// 20 committed rows.
+	var rids []core.RID
+	for i := 0; i < 20; i++ {
+		tx := r.db.Begin(nil)
+		tup := sch.New()
+		sch.SetUint(tup, 0, uint64(i))
+		sch.SetUint(tup, 1, 100)
+		rid, err := tbl.Insert(tx, tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+		tx.Commit()
+	}
+	r.db.FlushAll(nil)
+	// Committed updates on half of them (not flushed).
+	for i := 0; i < 10; i++ {
+		tx := r.db.Begin(nil)
+		cur, _ := tbl.Read(nil, rids[i])
+		sch.AddUint(cur, 1, 1)
+		tbl.Update(tx, rids[i], cur)
+		tx.Commit()
+	}
+	// A loser touching two rows.
+	loser := r.db.Begin(nil)
+	for _, i := range []int{0, 15} {
+		cur, _ := tbl.Read(nil, rids[i])
+		sch.SetUint(cur, 1, 999)
+		tbl.Update(loser, rids[i], cur)
+	}
+
+	r.db.SimulateCrash()
+	rep, err := r.db.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UndoneTxs != 1 {
+		t.Errorf("UndoneTxs = %d", rep.UndoneTxs)
+	}
+	for i, rid := range rids {
+		got, err := tbl.Read(nil, rid)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		want := uint64(100)
+		if i < 10 {
+			want = 101
+		}
+		if sch.GetUint(got, 1) != want {
+			t.Errorf("row %d = %d, want %d", i, sch.GetUint(got, 1), want)
+		}
+	}
+}
+
+func TestCheckpointTruncatesLog(t *testing.T) {
+	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
+	tbl, _ := r.db.CreateTable("t", "main")
+	for i := 0; i < 10; i++ {
+		tx := r.db.Begin(nil)
+		tbl.Insert(tx, make([]byte, 16))
+		tx.Commit()
+	}
+	r.db.FlushAll(nil)
+	before := r.db.Log().UsedBytes()
+	if err := r.db.Checkpoint(nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.db.Log().UsedBytes() >= before {
+		t.Errorf("checkpoint did not reclaim log space: %d → %d", before, r.db.Log().UsedBytes())
+	}
+	if r.db.Checkpoints() != 1 {
+		t.Errorf("Checkpoints = %d", r.db.Checkpoints())
+	}
+	// Recovery still works on the truncated log.
+	r.db.SimulateCrash()
+	if _, err := r.db.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogSpaceReclamationForcesFlushes(t *testing.T) {
+	// A tiny log must trigger eager reclamation: dirty pages get flushed
+	// even though the buffer never fills (the paper's explanation for
+	// host writes at 90% buffer size).
+	r := newRigWithLog(t, 8*1024)
+	tbl, _ := r.db.CreateTable("t", "main")
+	sch, _ := NewSchema(8)
+	tx := r.db.Begin(nil)
+	rid, _ := tbl.Insert(tx, sch.New())
+	tx.Commit()
+	for i := 0; i < 200; i++ {
+		tx := r.db.Begin(nil)
+		cur, _ := tbl.Read(nil, rid)
+		sch.AddUint(cur, 0, 1)
+		if err := tbl.Update(tx, rid, cur); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.db.Store("main")
+	writes := st.Stats().FlushesDelta + st.Stats().FlushesOOP
+	if writes == 0 {
+		t.Error("no flushes despite log pressure — eager reclamation broken")
+	}
+	if r.db.Checkpoints() == 0 {
+		t.Error("no checkpoints taken under log pressure")
+	}
+	if r.db.Log().Usage() > 1.0 {
+		t.Errorf("log overflowed: usage %v", r.db.Log().Usage())
+	}
+}
+
+func newRigWithLog(t *testing.T, logCap int) *testRig {
+	t.Helper()
+	rig := newRig(t, noftl.ModeSLC, core.NewScheme(2, 4), 64, false)
+	db, err := New(rig.dev, Options{
+		PageSize: 512, BufferFrames: 64, DirtyThreshold: 2.0,
+		LogCapacity: logCap, LogReclaimThreshold: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the already-created region on a fresh DB instance.
+	rig.db = db
+	return rig
+}
+
+func TestRecoverEmptyLog(t *testing.T) {
+	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 8, false)
+	rep, err := r.db.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RedoneOps != 0 || rep.UndoneTxs != 0 {
+		t.Errorf("empty recovery = %+v", rep)
+	}
+}
+
+func TestTxDoubleFinish(t *testing.T) {
+	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 8, false)
+	tx := r.db.Begin(nil)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("double commit: %v", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("abort after commit: %v", err)
+	}
+}

@@ -1,0 +1,394 @@
+// Package engine is the storage engine tying everything together: a
+// Shore-MT-like substrate with heap tables, a B+tree index, ARIES
+// logging, a steal/no-force buffer pool — and the paper's In-Place
+// Appends on the fetch/evict path (Sec. 6.2 "Page Operations").
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ipa/internal/buffer"
+	"ipa/internal/core"
+	"ipa/internal/ecc"
+	"ipa/internal/flash"
+	"ipa/internal/metrics"
+	"ipa/internal/noftl"
+	"ipa/internal/page"
+	"ipa/internal/sim"
+)
+
+// Errors of the engine.
+var (
+	ErrECC         = errors.New("engine: uncorrectable flash page")
+	ErrOOBTooSmall = errors.New("engine: OOB area too small for sectioned ECC")
+)
+
+// FlushKind classifies how a flush was served (for the experiment
+// counters).
+type FlushKind int
+
+const (
+	FlushSkipped    FlushKind = iota // nothing changed
+	FlushDelta                       // served as write_delta (In-Place Append)
+	FlushOutOfPlace                  // full out-of-place page write
+)
+
+// StoreStats aggregates the flush decisions and the update-size
+// distributions the paper analyses.
+type StoreStats struct {
+	Fetches      uint64
+	DeltaApply   uint64 // fetches that applied ≥1 delta-record
+	ECCCorrected uint64
+
+	FlushesSkipped uint64
+	FlushesDelta   uint64
+	FlushesOOP     uint64
+
+	// Update-size histograms over *update* flushes (appends to brand-new
+	// pages are excluded, as in the paper's Appendix A statistics).
+	NetBytes   *metrics.Hist // changed body bytes per flushed page
+	GrossBytes *metrics.Hist // body + metadata bytes
+
+	FetchLatency *metrics.Latency
+	FlushLatency *metrics.Latency
+}
+
+func newStoreStats(pageSize int) *StoreStats {
+	return &StoreStats{
+		NetBytes:     metrics.NewHist(pageSize),
+		GrossBytes:   metrics.NewHist(pageSize),
+		FetchLatency: &metrics.Latency{},
+		FlushLatency: &metrics.Latency{},
+	}
+}
+
+// TraceSink receives page-level I/O events for trace recording (the
+// IPL-vs-IPA comparison replays such traces).
+type TraceSink interface {
+	RecordFetch(id core.PageID)
+	RecordEvict(id core.PageID, net, gross int, isNew bool)
+}
+
+// PageStore binds a NoFTL region to a page layout and implements
+// buffer.Store: fetching reconstructs logical pages from physical images
+// (applying delta-records, checking sectioned ECC); flushing performs the
+// paper's IPA-vs-out-of-place decision.
+type PageStore struct {
+	region *noftl.Region
+	layout page.Layout
+	sect   ecc.Sections
+	useECC bool
+	stats  *StoreStats
+	sink   TraceSink
+}
+
+// SetTraceSink attaches a trace recorder (nil detaches).
+func (s *PageStore) SetTraceSink(ts TraceSink) { s.sink = ts }
+
+// NewPageStore creates a store over a region. pageSize is the database
+// page size; the [N×M] scheme comes from the region. When useECC is set,
+// the OOB area must accommodate the sectioned codes.
+func NewPageStore(region *noftl.Region, pageSize int, useECC bool) (*PageStore, error) {
+	l := page.Layout{PageSize: pageSize, Scheme: region.Scheme()}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	s := &PageStore{
+		region: region,
+		layout: l,
+		useECC: useECC,
+		stats:  newStoreStats(pageSize),
+	}
+	s.sect = ecc.Sections{
+		BodyLen: l.DeltaAreaStart(),
+		SlotLen: l.Scheme.RecordSize(),
+		Slots:   l.Scheme.N,
+	}
+	if pageSize != region.PageSize() {
+		return nil, fmt.Errorf("engine: page size %d != flash page size %d", pageSize, region.PageSize())
+	}
+	if useECC && region.OOBSize() < s.sect.TotalCodeLen() {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrOOBTooSmall, s.sect.TotalCodeLen(), region.OOBSize())
+	}
+	return s, nil
+}
+
+// Layout returns the page layout of this store.
+func (s *PageStore) Layout() page.Layout { return s.layout }
+
+// Region returns the backing NoFTL region.
+func (s *PageStore) Region() *noftl.Region { return s.region }
+
+// Stats returns the store's counters.
+func (s *PageStore) Stats() *StoreStats { return s.stats }
+
+// Fetch implements buffer.Store: read the physical image, verify and
+// correct ECC per section, apply delta-records, and hand back the logical
+// image plus the used-slot count (N_E).
+func (s *PageStore) Fetch(w *sim.Worker, id core.PageID, buf []byte) (int, error) {
+	start := now(w)
+	data, oob, err := s.region.Read(w, id)
+	if err != nil {
+		return 0, err
+	}
+	used := page.UsedDeltaSlots(data, s.layout)
+	if s.useECC {
+		n, err := s.correctSections(data, oob, used)
+		if err != nil {
+			return 0, fmt.Errorf("%w: page %d: %v", ErrECC, id, err)
+		}
+		s.stats.ECCCorrected += uint64(n)
+	}
+	applied, err := page.Reconstruct(data, s.layout)
+	if err != nil {
+		return 0, fmt.Errorf("engine: reconstruct page %d: %w", id, err)
+	}
+	copy(buf, data)
+	s.stats.Fetches++
+	if s.sink != nil {
+		s.sink.RecordFetch(id)
+	}
+	if applied > 0 {
+		s.stats.DeltaApply++
+	}
+	s.stats.FetchLatency.Add(elapsed(w, start))
+	return used, nil
+}
+
+// correctSections verifies ECC_initial over the body and ECC_delta_i over
+// each present delta slot (Sec. 6.2).
+func (s *PageStore) correctSections(data, oob []byte, used int) (corrected int, err error) {
+	if len(oob) < s.sect.TotalCodeLen() {
+		return 0, fmt.Errorf("%w: %d < %d", ErrOOBTooSmall, len(oob), s.sect.TotalCodeLen())
+	}
+	n, err := ecc.Correct(data[:s.sect.BodyLen], oob[:s.sect.BodyCodeLen()])
+	if err != nil {
+		return n, err
+	}
+	corrected = n
+	rs := s.layout.Scheme.RecordSize()
+	for i := 0; i < used; i++ {
+		off := s.layout.DeltaSlotOff(i)
+		code := oob[s.sect.SlotCodeOff(i) : s.sect.SlotCodeOff(i)+s.sect.SlotCodeLen()]
+		n, err := ecc.Correct(data[off:off+rs], code)
+		if err != nil {
+			return corrected, fmt.Errorf("delta slot %d: %w", i, err)
+		}
+		corrected += n
+	}
+	return corrected, nil
+}
+
+// Flush implements buffer.Store: diff the frame against its last flushed
+// image, and either append delta-records to the same physical flash page
+// (write_delta) or write the whole page out-of-place.
+func (s *PageStore) Flush(w *sim.Worker, fr *buffer.Frame) error {
+	start := now(w)
+	kind, err := s.flush(w, fr)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case FlushSkipped:
+		s.stats.FlushesSkipped++
+	case FlushDelta:
+		s.stats.FlushesDelta++
+	case FlushOutOfPlace:
+		s.stats.FlushesOOP++
+	}
+	if kind != FlushSkipped {
+		s.stats.FlushLatency.Add(elapsed(w, start))
+	}
+	return nil
+}
+
+func (s *PageStore) flush(w *sim.Worker, fr *buffer.Frame) (FlushKind, error) {
+	// A brand-new page has no physical copy: IPA is not applicable, the
+	// first write is always a whole-page out-of-place program.
+	if fr.New || fr.Flushed == nil {
+		if err := s.writeOutOfPlace(w, fr); err != nil {
+			return 0, err
+		}
+		if s.sink != nil {
+			s.sink.RecordEvict(fr.ID, 0, 0, true)
+		}
+		return FlushOutOfPlace, nil
+	}
+	pg, err := page.Attach(fr.Data, s.layout)
+	if err != nil {
+		return 0, err
+	}
+	cs, err := core.Diff(fr.Data, fr.Flushed, pg.IsMeta, pg.InDeltaArea)
+	if err != nil {
+		return 0, err
+	}
+	if cs.Empty() {
+		return FlushSkipped, nil
+	}
+	// Update-size statistics: this is an update I/O to an existing page.
+	s.stats.NetBytes.Add(cs.BodyBytes())
+	s.stats.GrossBytes.Add(cs.BodyBytes() + cs.MetaBytes())
+	if s.sink != nil {
+		s.sink.RecordEvict(fr.ID, cs.BodyBytes(), cs.BodyBytes()+cs.MetaBytes(), false)
+	}
+
+	if s.region.CanAppend(fr.ID) {
+		recs, perr := s.layout.Scheme.Plan(cs, fr.UsedSlots)
+		if perr == nil && len(recs) > 0 {
+			if err := s.writeDelta(w, fr, recs); err == nil {
+				return FlushDelta, nil
+			} else if !errors.Is(err, noftl.ErrNotAppendable) {
+				return 0, err
+			}
+			// Not appendable after all (e.g. chip budget raced out):
+			// fall through to the out-of-place path.
+		} else if perr != nil && perr != core.ErrSchemeOverflow {
+			return 0, perr
+		}
+	}
+	if err := s.writeOutOfPlace(w, fr); err != nil {
+		return 0, err
+	}
+	return FlushOutOfPlace, nil
+}
+
+// writeDelta encodes the planned records into contiguous delta slots and
+// issues one write_delta covering them (plus their ECC in the OOB area).
+func (s *PageStore) writeDelta(w *sim.Worker, fr *buffer.Frame, recs []core.DeltaRecord) error {
+	off, data, err := page.EncodeRecords(s.layout, fr.UsedSlots, recs)
+	if err != nil {
+		return err
+	}
+	var oobOff int
+	var oobData []byte
+	if s.useECC {
+		oobOff = s.sect.SlotCodeOff(fr.UsedSlots)
+		rs := s.layout.Scheme.RecordSize()
+		for i := range recs {
+			oobData = append(oobData, ecc.Encode(data[i*rs:(i+1)*rs])...)
+		}
+	}
+	if err := s.region.WriteDelta(w, fr.ID, off, data, oobOff, oobData); err != nil {
+		return err
+	}
+	fr.UsedSlots += len(recs)
+	fr.Flushed = append(fr.Flushed[:0], fr.Data...)
+	return nil
+}
+
+// writeOutOfPlace writes the full logical image (delta area erased) to a
+// new physical location and resets the delta state.
+func (s *PageStore) writeOutOfPlace(w *sim.Worker, fr *buffer.Frame) error {
+	var oob []byte
+	if s.useECC {
+		oob = ecc.Encode(fr.Data[:s.sect.BodyLen])
+	}
+	if err := s.region.Write(w, fr.ID, fr.Data, oob); err != nil {
+		return err
+	}
+	fr.UsedSlots = 0
+	fr.New = false
+	fr.Flushed = append(fr.Flushed[:0], fr.Data...)
+	return nil
+}
+
+// Scrub implements the Correct-and-Refresh maintenance pass (Sec. 2.3):
+// the physical page is read, bit errors are corrected through the
+// sectioned ECC, and the corrected raw image is ISPP re-programmed in
+// place — restoring leaked charge without an out-of-place write or an
+// erase. It returns the number of corrected bits.
+func (s *PageStore) Scrub(w *sim.Worker, id core.PageID) (corrected int, err error) {
+	if !s.useECC {
+		return 0, fmt.Errorf("engine: scrub requires ECC")
+	}
+	data, oob, err := s.region.Read(w, id)
+	if err != nil {
+		return 0, err
+	}
+	used := page.UsedDeltaSlots(data, s.layout)
+	n, err := s.correctSections(data, oob, used)
+	if err != nil {
+		return n, fmt.Errorf("%w: page %d: %v", ErrECC, id, err)
+	}
+	if n == 0 {
+		return 0, nil // nothing leaked; skip the re-program
+	}
+	if err := s.region.Refresh(w, id, data, oob); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// RecoverMapping rebuilds the region's logical→physical mapping from
+// flash contents after a power loss that wiped the in-memory NoFTL
+// metadata. Every programmed physical page is scanned; its raw image is
+// reconstructed (delta-records applied) to obtain the page id and the
+// effective PageLSN, and for each logical page the copy with the highest
+// LSN wins — older copies are garbage the collector will reclaim. It
+// returns the number of logical pages recovered.
+func (s *PageStore) RecoverMapping(w *sim.Worker) (int, error) {
+	type winner struct {
+		ppn flash.PPN
+		lsn core.LSN
+	}
+	best := make(map[core.PageID]winner)
+	var scanErr error
+	err := s.region.ScanPhysical(w, func(pp noftl.PhysicalPage) bool {
+		img := append([]byte(nil), pp.Data...)
+		if _, err := page.Reconstruct(img, s.layout); err != nil {
+			// Unreadable image: skip (a torn program would be caught by
+			// ECC on real hardware; our model only sees whole programs).
+			return true
+		}
+		pg, err := page.Attach(img, s.layout)
+		if err != nil {
+			return true
+		}
+		id := pg.ID()
+		if id == core.InvalidPageID {
+			return true
+		}
+		if cur, ok := best[id]; !ok || pg.LSN() > cur.lsn {
+			best[id] = winner{ppn: pp.PPN, lsn: pg.LSN()}
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if scanErr != nil {
+		return 0, scanErr
+	}
+	mapping := make(map[core.PageID]flash.PPN, len(best))
+	for id, wn := range best {
+		mapping[id] = wn.ppn
+	}
+	if err := s.region.Adopt(mapping); err != nil {
+		return 0, err
+	}
+	return len(mapping), nil
+}
+
+// Free releases the physical copy of a page.
+func (s *PageStore) Free(id core.PageID) error {
+	if !s.region.Contains(id) {
+		return nil
+	}
+	return s.region.Free(id)
+}
+
+func now(w *sim.Worker) sim.Time {
+	if w == nil {
+		return 0
+	}
+	return w.Now()
+}
+
+func elapsed(w *sim.Worker, start sim.Time) time.Duration {
+	if w == nil {
+		return 0
+	}
+	return time.Duration(w.Now() - start)
+}

@@ -1,0 +1,321 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"ipa/internal/core"
+	"ipa/internal/page"
+	"ipa/internal/sim"
+	"ipa/internal/wal"
+)
+
+// Table errors.
+var (
+	ErrTableExists = errors.New("engine: table already exists")
+	ErrNoTable     = errors.New("engine: no such table")
+	ErrNoTuple     = errors.New("engine: no tuple at RID")
+)
+
+// Table is a heap file of slotted pages in one region (tablespace). The
+// region decides whether the table's small updates become In-Place
+// Appends — the paper's selective application of IPA per database object.
+type Table struct {
+	db    *DB
+	st    *PageStore
+	name  string
+	id    uint64
+	pages []core.PageID // heap chain, in allocation order
+	last  core.PageID   // current insertion target
+}
+
+// CreateTable creates a heap table placed in the named region.
+func (db *DB) CreateTable(name, regionName string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	st, err := db.attachRegionLocked(regionName)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{db: db, st: st, name: name, id: uint64(len(db.tables) + 1)}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Store returns the table's page store.
+func (t *Table) Store() *PageStore { return t.st }
+
+// Pages returns the number of allocated heap pages.
+func (t *Table) Pages() int {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	return len(t.pages)
+}
+
+// Insert appends a tuple, logging the operation under tx.
+func (t *Table) Insert(tx *Tx, data []byte) (core.RID, error) {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if tx.status != txActive {
+		return core.RID{}, fmt.Errorf("%w: tx %d", ErrTxDone, tx.id)
+	}
+	// Try the current insertion target first.
+	if t.last != core.InvalidPageID {
+		rid, err := t.insertIntoLocked(tx, t.last, data)
+		if err == nil {
+			return rid, nil
+		}
+		if !errors.Is(err, page.ErrPageFull) {
+			return core.RID{}, err
+		}
+	}
+	// Allocate a fresh page and chain it.
+	fr, pg, err := db.newPageLocked(tx.w, t.st, t.id, 0)
+	if err != nil {
+		return core.RID{}, err
+	}
+	id := pg.ID()
+	if t.last != core.InvalidPageID {
+		// Link the previous tail to the new page.
+		if err := t.setNextLocked(tx.w, t.last, id); err != nil {
+			db.pool.Unpin(tx.w, fr, false, 0)
+			return core.RID{}, err
+		}
+	}
+	t.pages = append(t.pages, id)
+	t.last = id
+	slot, err := pg.Insert(data)
+	if err != nil {
+		db.pool.Unpin(tx.w, fr, false, 0)
+		return core.RID{}, err
+	}
+	rid := core.RID{Page: id, Slot: uint16(slot)}
+	if err := tx.lockRID(rid); err != nil {
+		// A fresh slot can only collide with a deleted-but-locked tuple.
+		pg.Delete(slot)
+		db.pool.Unpin(tx.w, fr, false, 0)
+		return core.RID{}, err
+	}
+	lsn := tx.logUpdate(id, wal.OpInsert, slot, nil, data)
+	pg.SetLSN(lsn)
+	if err := db.pool.Unpin(tx.w, fr, true, lsn); err != nil {
+		return core.RID{}, err
+	}
+	return rid, db.maybeReclaimLocked(tx.w)
+}
+
+func (t *Table) insertIntoLocked(tx *Tx, id core.PageID, data []byte) (core.RID, error) {
+	db := t.db
+	fr, err := db.pool.Get(tx.w, id)
+	if err != nil {
+		return core.RID{}, err
+	}
+	pg, err := page.Attach(fr.Data, t.st.layout)
+	if err != nil {
+		db.pool.Unpin(tx.w, fr, false, 0)
+		return core.RID{}, err
+	}
+	slot, err := pg.Insert(data)
+	if err != nil {
+		db.pool.Unpin(tx.w, fr, false, 0)
+		return core.RID{}, err
+	}
+	rid := core.RID{Page: id, Slot: uint16(slot)}
+	if err := tx.lockRID(rid); err != nil {
+		pg.Delete(slot)
+		db.pool.Unpin(tx.w, fr, false, 0)
+		return core.RID{}, err
+	}
+	lsn := tx.logUpdate(id, wal.OpInsert, slot, nil, data)
+	pg.SetLSN(lsn)
+	if err := db.pool.Unpin(tx.w, fr, true, lsn); err != nil {
+		return core.RID{}, err
+	}
+	return rid, nil
+}
+
+// setNextLocked updates the heap chain pointer of a page (metadata-only
+// change, itself absorbed as a delta when flushed).
+func (t *Table) setNextLocked(w *sim.Worker, id, next core.PageID) error {
+	fr, err := t.db.pool.Get(w, id)
+	if err != nil {
+		return err
+	}
+	pg, err := page.Attach(fr.Data, t.st.layout)
+	if err != nil {
+		t.db.pool.Unpin(w, fr, false, 0)
+		return err
+	}
+	pg.SetNextPage(next)
+	return t.db.pool.Unpin(w, fr, true, pg.LSN())
+}
+
+// Read copies the tuple at rid.
+func (t *Table) Read(w *sim.Worker, rid core.RID) ([]byte, error) {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	fr, err := db.pool.Get(w, rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer db.pool.Unpin(w, fr, false, 0)
+	pg, err := page.Attach(fr.Data, t.st.layout)
+	if err != nil {
+		return nil, err
+	}
+	tup, err := pg.ReadTuple(int(rid.Slot))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v: %v", ErrNoTuple, rid, err)
+	}
+	return append([]byte(nil), tup...), nil
+}
+
+// Update replaces the tuple at rid, logging before/after images.
+func (t *Table) Update(tx *Tx, rid core.RID, data []byte) error {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if tx.status != txActive {
+		return fmt.Errorf("%w: tx %d", ErrTxDone, tx.id)
+	}
+	if err := tx.lockRID(rid); err != nil {
+		return err
+	}
+	fr, err := db.pool.Get(tx.w, rid.Page)
+	if err != nil {
+		return err
+	}
+	pg, err := page.Attach(fr.Data, t.st.layout)
+	if err != nil {
+		db.pool.Unpin(tx.w, fr, false, 0)
+		return err
+	}
+	old, err := pg.ReadTuple(int(rid.Slot))
+	if err != nil {
+		db.pool.Unpin(tx.w, fr, false, 0)
+		return fmt.Errorf("%w: %v: %v", ErrNoTuple, rid, err)
+	}
+	before := append([]byte(nil), old...)
+	if err := pg.Update(int(rid.Slot), data); err != nil {
+		db.pool.Unpin(tx.w, fr, false, 0)
+		return err
+	}
+	lsn := tx.logUpdate(rid.Page, wal.OpUpdate, int(rid.Slot), before, data)
+	pg.SetLSN(lsn)
+	if err := db.pool.Unpin(tx.w, fr, true, lsn); err != nil {
+		return err
+	}
+	return db.maybeReclaimLocked(tx.w)
+}
+
+// UpdateField performs the OLTP pattern the paper analyses: a
+// read-modify-write of a byte range within the tuple (e.g. one numeric
+// attribute), leaving the rest untouched — which is what keeps update
+// deltas small.
+func (t *Table) UpdateField(tx *Tx, rid core.RID, off int, val []byte) error {
+	cur, err := t.Read(tx.w, rid)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+len(val) > len(cur) {
+		return fmt.Errorf("engine: field [%d,%d) outside tuple of %d bytes", off, off+len(val), len(cur))
+	}
+	copy(cur[off:], val)
+	return t.Update(tx, rid, cur)
+}
+
+// Delete removes the tuple at rid.
+func (t *Table) Delete(tx *Tx, rid core.RID) error {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if tx.status != txActive {
+		return fmt.Errorf("%w: tx %d", ErrTxDone, tx.id)
+	}
+	if err := tx.lockRID(rid); err != nil {
+		return err
+	}
+	fr, err := db.pool.Get(tx.w, rid.Page)
+	if err != nil {
+		return err
+	}
+	pg, err := page.Attach(fr.Data, t.st.layout)
+	if err != nil {
+		db.pool.Unpin(tx.w, fr, false, 0)
+		return err
+	}
+	old, err := pg.ReadTuple(int(rid.Slot))
+	if err != nil {
+		db.pool.Unpin(tx.w, fr, false, 0)
+		return fmt.Errorf("%w: %v: %v", ErrNoTuple, rid, err)
+	}
+	before := append([]byte(nil), old...)
+	if err := pg.Delete(int(rid.Slot)); err != nil {
+		db.pool.Unpin(tx.w, fr, false, 0)
+		return err
+	}
+	lsn := tx.logUpdate(rid.Page, wal.OpDelete, int(rid.Slot), before, nil)
+	pg.SetLSN(lsn)
+	return db.pool.Unpin(tx.w, fr, true, lsn)
+}
+
+// Scan visits every live tuple in heap order until fn returns false.
+func (t *Table) Scan(w *sim.Worker, fn func(rid core.RID, tuple []byte) bool) error {
+	db := t.db
+	db.mu.Lock()
+	pages := append([]core.PageID(nil), t.pages...)
+	db.mu.Unlock()
+	for _, id := range pages {
+		db.mu.Lock()
+		fr, err := db.pool.Get(w, id)
+		if err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		pg, err := page.Attach(fr.Data, t.st.layout)
+		if err != nil {
+			db.pool.Unpin(w, fr, false, 0)
+			db.mu.Unlock()
+			return err
+		}
+		type item struct {
+			rid core.RID
+			tup []byte
+		}
+		var items []item
+		for s := 0; s < pg.SlotCount(); s++ {
+			tup, err := pg.ReadTuple(s)
+			if err != nil {
+				continue // deleted slot
+			}
+			items = append(items, item{core.RID{Page: id, Slot: uint16(s)}, append([]byte(nil), tup...)})
+		}
+		db.pool.Unpin(w, fr, false, 0)
+		db.mu.Unlock()
+		for _, it := range items {
+			if !fn(it.rid, it.tup) {
+				return nil
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"ipa/internal/core"
+	"ipa/internal/page"
+	"ipa/internal/sim"
+	"ipa/internal/wal"
+)
+
+// Tx status values.
+type txStatus int
+
+const (
+	txActive txStatus = iota
+	txCommitted
+	txAborted
+)
+
+// ErrTxDone is returned when operating on a finished transaction.
+var ErrTxDone = errors.New("engine: transaction already finished")
+
+// ErrLockConflict is returned when a tuple is exclusively locked by
+// another active transaction. Locking is no-wait (immediate failure), so
+// deadlocks cannot arise; callers abort and retry.
+var ErrLockConflict = errors.New("engine: tuple locked by another transaction")
+
+// Tx is a transaction handle. A transaction belongs to one simulated
+// worker (terminal); its updates are WAL-logged with undo images, so
+// Abort rolls back via the normal ARIES path — which, with IPA, may read
+// pages whose uncommitted changes live in delta-records on flash
+// (Sec. 6.2, rollback discussion).
+type Tx struct {
+	id       uint64
+	db       *DB
+	w        *sim.Worker
+	firstLSN core.LSN
+	lastLSN  core.LSN
+	status   txStatus
+	updates  int
+	held     []core.RID // exclusive locks, released at commit/abort
+}
+
+// Begin starts a transaction bound to the worker (nil is fine for
+// untimed use).
+func (db *DB) Begin(w *sim.Worker) *Tx {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tx := &Tx{id: db.nextTx, db: db, w: w}
+	db.nextTx++
+	tx.firstLSN = db.log.Append(wal.Record{Type: wal.RecBegin, TxID: tx.id})
+	tx.lastLSN = tx.firstLSN
+	db.active[tx.id] = tx
+	return tx
+}
+
+// ID returns the transaction id.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// lockRID acquires (or re-acquires) the exclusive tuple lock. Caller
+// holds db.mu.
+func (tx *Tx) lockRID(rid core.RID) error {
+	if owner, ok := tx.db.locks[rid]; ok {
+		if owner == tx.id {
+			return nil
+		}
+		return fmt.Errorf("%w: %v held by tx %d", ErrLockConflict, rid, owner)
+	}
+	tx.db.locks[rid] = tx.id
+	tx.held = append(tx.held, rid)
+	return nil
+}
+
+// releaseLocksLocked drops every lock the transaction holds.
+func (tx *Tx) releaseLocksLocked() {
+	for _, rid := range tx.held {
+		if tx.db.locks[rid] == tx.id {
+			delete(tx.db.locks, rid)
+		}
+	}
+	tx.held = nil
+}
+
+// logUpdate appends an update record and chains it. Caller holds db.mu.
+func (tx *Tx) logUpdate(pg core.PageID, op wal.PageOp, slot int, before, after []byte) core.LSN {
+	lsn := tx.db.log.Append(wal.Record{
+		Type: wal.RecUpdate, TxID: tx.id, PrevLSN: tx.lastLSN,
+		Page: pg, Op: op, Slot: uint16(slot),
+		Before: append([]byte(nil), before...),
+		After:  append([]byte(nil), after...),
+	})
+	tx.lastLSN = lsn
+	tx.updates++
+	return lsn
+}
+
+// Commit makes the transaction durable: the commit record is forced to
+// the log (no-force for data pages) and the transaction ends.
+func (tx *Tx) Commit() error {
+	db := tx.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if tx.status != txActive {
+		return fmt.Errorf("%w: tx %d", ErrTxDone, tx.id)
+	}
+	lsn := db.log.Append(wal.Record{Type: wal.RecCommit, TxID: tx.id, PrevLSN: tx.lastLSN})
+	db.log.Flush(lsn)
+	db.log.Append(wal.Record{Type: wal.RecEnd, TxID: tx.id, PrevLSN: lsn})
+	tx.status = txCommitted
+	tx.releaseLocksLocked()
+	delete(db.active, tx.id)
+	return db.maybeReclaimLocked(tx.w)
+}
+
+// Abort rolls the transaction back: its update chain is walked backwards,
+// each change is undone through the regular page path (so undo data may
+// come from delta-records on flash), CLRs are written, and the
+// transaction ends.
+func (tx *Tx) Abort() error {
+	db := tx.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if tx.status != txActive {
+		return fmt.Errorf("%w: tx %d", ErrTxDone, tx.id)
+	}
+	db.log.Append(wal.Record{Type: wal.RecAbort, TxID: tx.id, PrevLSN: tx.lastLSN})
+	if err := db.rollbackLocked(tx.w, tx.id, tx.lastLSN); err != nil {
+		return err
+	}
+	db.log.Append(wal.Record{Type: wal.RecEnd, TxID: tx.id})
+	tx.status = txAborted
+	tx.releaseLocksLocked()
+	delete(db.active, tx.id)
+	return nil
+}
+
+// rollbackLocked undoes a transaction's updates starting from lastLSN,
+// writing a CLR per undone record. Shared by Abort and restart undo.
+func (db *DB) rollbackLocked(w *sim.Worker, txID uint64, from core.LSN) error {
+	cur := from
+	for cur != 0 {
+		rec, err := db.log.Get(cur)
+		if err != nil {
+			return fmt.Errorf("engine: rollback tx %d at LSN %d: %w", txID, cur, err)
+		}
+		switch rec.Type {
+		case wal.RecUpdate:
+			undoOp, undoImg := invertOp(rec)
+			clr := db.log.Append(wal.Record{
+				Type: wal.RecCLR, TxID: txID,
+				Page: rec.Page, Op: undoOp, Slot: rec.Slot, After: undoImg,
+				UndoNext: rec.PrevLSN,
+			})
+			if err := db.applyToPageLocked(w, rec.Page, undoOp, int(rec.Slot), undoImg, clr); err != nil {
+				return err
+			}
+			cur = rec.PrevLSN
+		case wal.RecCLR:
+			cur = rec.UndoNext
+		default:
+			cur = rec.PrevLSN
+		}
+	}
+	return nil
+}
+
+// invertOp returns the compensating operation for an update record.
+func invertOp(rec wal.Record) (wal.PageOp, []byte) {
+	switch rec.Op {
+	case wal.OpInsert:
+		return wal.OpDelete, nil
+	case wal.OpDelete:
+		return wal.OpInsert, rec.Before
+	case wal.OpUpdate:
+		return wal.OpUpdate, rec.Before
+	default:
+		return wal.OpNone, nil
+	}
+}
+
+// applyToPageLocked fetches a page and applies a physiological operation,
+// stamping the page with the given LSN. Used by rollback and redo.
+func (db *DB) applyToPageLocked(w *sim.Worker, id core.PageID, op wal.PageOp, slot int, img []byte, lsn core.LSN) error {
+	st := db.pageDir[id]
+	if st == nil {
+		return fmt.Errorf("engine: apply to unknown page %d", id)
+	}
+	fr, err := db.pool.Get(w, id)
+	if err != nil {
+		return err
+	}
+	pg, err := page.Attach(fr.Data, st.layout)
+	if err != nil {
+		db.pool.Unpin(w, fr, false, 0)
+		return err
+	}
+	if err := applyOp(pg, op, slot, img); err != nil {
+		db.pool.Unpin(w, fr, false, 0)
+		return err
+	}
+	pg.SetLSN(lsn)
+	return db.pool.Unpin(w, fr, true, lsn)
+}
+
+// applyOp performs a physiological page operation.
+func applyOp(pg *page.Page, op wal.PageOp, slot int, img []byte) error {
+	switch op {
+	case wal.OpInsert:
+		return pg.InsertAt(slot, img)
+	case wal.OpUpdate:
+		return pg.Update(slot, img)
+	case wal.OpDelete:
+		return pg.Delete(slot)
+	case wal.OpNone:
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown page op %d", op)
+	}
+}

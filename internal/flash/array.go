@@ -1,0 +1,488 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ipa/internal/sim"
+)
+
+// Errors reported by the flash array. They model real NAND failure modes:
+// violating them on hardware silently corrupts data, so the simulator
+// makes them hard failures.
+var (
+	// ErrBitIncrease: a program operation attempted a 0→1 bit transition,
+	// which would require decreasing cell charge — only erase can do that.
+	ErrBitIncrease = errors.New("flash: program would require charge decrease (0→1 bit flip)")
+	// ErrNotErased: a full-page program was issued to a page that has
+	// already been programmed since the last block erase.
+	ErrNotErased = errors.New("flash: page already programmed; erase block first")
+	// ErrMSBAppend: an ISPP re-program (write_delta) was issued to an MLC
+	// MSB page; interference makes appends unsafe there (Appendix C.2).
+	ErrMSBAppend = errors.New("flash: delta program on MLC MSB page")
+	// ErrProgramOrder: MLC pages within a block must be programmed in
+	// ascending order to bound program interference.
+	ErrProgramOrder = errors.New("flash: out-of-order program within block")
+	// ErrAppendLimit: the page exceeded its re-program budget.
+	ErrAppendLimit = errors.New("flash: ISPP re-program limit exceeded for page")
+	// ErrWornOut: the block exceeded its P/E endurance.
+	ErrWornOut = errors.New("flash: block worn out")
+	// ErrBounds: an address or length was outside the device.
+	ErrBounds = errors.New("flash: address out of bounds")
+	// ErrUncorrectable is returned by the ECC layer above when injected
+	// bit errors exceed correction capability; defined here for sharing.
+	ErrUncorrectable = errors.New("flash: uncorrectable bit errors")
+)
+
+// pageState tracks the lifecycle of one physical page.
+type pageState uint8
+
+const (
+	pageErased pageState = iota
+	pageProgrammed
+)
+
+// Config assembles everything needed to build an Array.
+type Config struct {
+	Geometry Geometry
+	Timing   Timing
+
+	// MaxAppends bounds ISPP re-programs per page after the initial
+	// program (the paper uses N=2..3 on MLC, more on SLC). Zero means
+	// "use the cell-type default" (8 for SLC, 3 for MLC LSB).
+	MaxAppends int
+
+	// Endurance is the P/E cycle budget per block; zero means the
+	// cell-type default. Exceeding it returns ErrWornOut on erase.
+	Endurance int
+
+	// StrictProgramOrder enforces ascending page programming within a
+	// block (a hard requirement on MLC; we default it on for both).
+	StrictProgramOrder bool
+
+	// BitErrorRate is the probability that any given *read* of a page
+	// flips one bit (retention/read-disturb model). Errors are injected
+	// into the returned copy, not the stored data, and are correctable by
+	// the ECC layer. Zero disables injection.
+	BitErrorRate float64
+
+	// InterferenceRate is the probability that a delta program on an LSB
+	// page flips one bit in the delta region of a *neighbouring MSB* page
+	// (program interference, Appendix C.2). Zero disables injection.
+	InterferenceRate float64
+
+	// Seed makes fault injection deterministic.
+	Seed int64
+}
+
+// DefaultMaxAppends returns the re-program budget for the geometry.
+func (c Config) DefaultMaxAppends() int {
+	if c.MaxAppends > 0 {
+		return c.MaxAppends
+	}
+	if c.Geometry.Cell == SLC {
+		return 8
+	}
+	return 3
+}
+
+func (c Config) endurance() int {
+	if c.Endurance > 0 {
+		return c.Endurance
+	}
+	switch c.Geometry.Cell {
+	case SLC:
+		return EnduranceSLC
+	case TLC:
+		return EnduranceTLC
+	default:
+		return EnduranceMLC
+	}
+}
+
+// Stats counts physical operations performed by the array.
+type Stats struct {
+	Reads         uint64
+	Programs      uint64 // full-page programs
+	DeltaPrograms uint64 // ISPP re-programs (write_delta)
+	Erases        uint64
+	Refreshes     uint64 // Correct-and-Refresh re-programs
+	BytesRead     uint64
+	BytesWritten  uint64
+	BitErrors     uint64 // injected on reads
+	Interference  uint64 // injected by delta programs
+	LeakedBits    uint64 // persistent retention leaks injected
+}
+
+// Array is a simulated flash device: a set of chips addressed by PPN,
+// with per-chip queueing on a shared sim.Timeline. All methods are safe
+// for concurrent use.
+type Array struct {
+	cfg  Config
+	geom Geometry
+
+	mu    sync.Mutex
+	data  []byte      // page data, TotalPages × PageSize
+	oob   []byte      // spare area, TotalPages × OOBSize
+	state []pageState // per page
+	// appends counts ISPP re-programs since the initial program.
+	appends []uint16
+	// lastProg is the highest programmed page index per block, for
+	// program-order enforcement (-1 = none).
+	lastProg []int16
+	erases   []uint32 // per block P/E count
+	stats    Stats
+	rng      *rand.Rand
+
+	tl *sim.Timeline // chip queueing; may be nil (no timing)
+}
+
+// New builds an array. If tl is non-nil it must have at least
+// Geometry.Chips resources; flash operations then occupy chip resources
+// and report latencies.
+func New(cfg Config, tl *sim.Timeline) (*Array, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if tl != nil && tl.Resources() < cfg.Geometry.Chips {
+		return nil, fmt.Errorf("flash: timeline has %d resources, need %d chips", tl.Resources(), cfg.Geometry.Chips)
+	}
+	g := cfg.Geometry
+	a := &Array{
+		cfg:      cfg,
+		geom:     g,
+		data:     make([]byte, g.TotalPages()*g.PageSize),
+		oob:      make([]byte, g.TotalPages()*g.OOBSize),
+		state:    make([]pageState, g.TotalPages()),
+		appends:  make([]uint16, g.TotalPages()),
+		lastProg: make([]int16, g.TotalBlocks()),
+		erases:   make([]uint32, g.TotalBlocks()),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		tl:       tl,
+	}
+	for i := range a.lastProg {
+		a.lastProg[i] = -1
+	}
+	// A fresh device reads as erased everywhere.
+	for i := range a.data {
+		a.data[i] = 0xFF
+	}
+	for i := range a.oob {
+		a.oob[i] = 0xFF
+	}
+	return a, nil
+}
+
+// Geometry returns the array's geometry.
+func (a *Array) Geometry() Geometry { return a.geom }
+
+// Stats returns a snapshot of the operation counters.
+func (a *Array) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// ResetStats zeroes the operation counters (wear state is kept).
+func (a *Array) ResetStats() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats = Stats{}
+}
+
+// EraseCount returns the P/E cycles consumed by the global block index.
+func (a *Array) EraseCount(block int) uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.erases[block]
+}
+
+// MaxEraseCount returns the highest per-block P/E count — the wear
+// hotspot that bounds device lifetime.
+func (a *Array) MaxEraseCount() uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var max uint32
+	for _, e := range a.erases {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Appends returns the number of ISPP re-programs the page has absorbed
+// since its initial program.
+func (a *Array) Appends(p PPN) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int(a.appends[p])
+}
+
+// IsErased reports whether the page is in the erased state.
+func (a *Array) IsErased(p PPN) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.state[p] == pageErased
+}
+
+func (a *Array) checkPPN(p PPN) error {
+	if int(p) >= a.geom.TotalPages() {
+		return fmt.Errorf("%w: ppn %d of %d", ErrBounds, p, a.geom.TotalPages())
+	}
+	return nil
+}
+
+func (a *Array) pageData(p PPN) []byte {
+	off := int(p) * a.geom.PageSize
+	return a.data[off : off+a.geom.PageSize]
+}
+
+func (a *Array) pageOOB(p PPN) []byte {
+	off := int(p) * a.geom.OOBSize
+	return a.oob[off : off+a.geom.OOBSize]
+}
+
+func (a *Array) occupy(w *sim.Worker, p PPN, d time.Duration) time.Duration {
+	if a.tl == nil || w == nil {
+		return 0
+	}
+	return w.Use(a.geom.ChipOf(p), d)
+}
+
+// Read copies the page's data and OOB into fresh slices. If w is non-nil
+// the chip occupancy and transfer time are charged to the worker. The
+// returned latency includes queueing. Injected bit errors appear only in
+// the returned copy.
+func (a *Array) Read(w *sim.Worker, p PPN) (data, oob []byte, lat time.Duration, err error) {
+	if err := a.checkPPN(p); err != nil {
+		return nil, nil, 0, err
+	}
+	a.mu.Lock()
+	data = append([]byte(nil), a.pageData(p)...)
+	oob = append([]byte(nil), a.pageOOB(p)...)
+	a.stats.Reads++
+	a.stats.BytesRead += uint64(a.geom.PageSize)
+	inject := a.cfg.BitErrorRate > 0 && a.rng.Float64() < a.cfg.BitErrorRate
+	var bitPos int
+	if inject {
+		bitPos = a.rng.Intn(len(data) * 8)
+		a.stats.BitErrors++
+	}
+	a.mu.Unlock()
+	if inject {
+		data[bitPos/8] ^= 1 << (bitPos % 8)
+	}
+	xfer := time.Duration(a.geom.PageSize+a.geom.OOBSize) * a.cfg.Timing.TransferPerByte
+	lat = a.occupy(w, p, a.cfg.Timing.Read+xfer)
+	return data, oob, lat, nil
+}
+
+// Program writes a full page (and optionally its OOB area, if oob is
+// non-nil) to an erased page. MLC program order within the block is
+// enforced when configured.
+func (a *Array) Program(w *sim.Worker, p PPN, data, oob []byte) (lat time.Duration, err error) {
+	if err := a.checkPPN(p); err != nil {
+		return 0, err
+	}
+	if len(data) != a.geom.PageSize {
+		return 0, fmt.Errorf("%w: program %d bytes, page is %d", ErrBounds, len(data), a.geom.PageSize)
+	}
+	if oob != nil && len(oob) > a.geom.OOBSize {
+		return 0, fmt.Errorf("%w: oob %d bytes, spare is %d", ErrBounds, len(oob), a.geom.OOBSize)
+	}
+	a.mu.Lock()
+	if a.state[p] != pageErased {
+		a.mu.Unlock()
+		return 0, fmt.Errorf("%w: ppn %d", ErrNotErased, p)
+	}
+	if a.cfg.StrictProgramOrder {
+		blk := a.geom.BlockOf(p)
+		if int16(a.geom.PageInBlock(p)) <= a.lastProg[blk] {
+			a.mu.Unlock()
+			return 0, fmt.Errorf("%w: page %d after %d in block %d", ErrProgramOrder, a.geom.PageInBlock(p), a.lastProg[blk], blk)
+		}
+		a.lastProg[blk] = int16(a.geom.PageInBlock(p))
+	}
+	copy(a.pageData(p), data)
+	if oob != nil {
+		copy(a.pageOOB(p), oob)
+	}
+	a.state[p] = pageProgrammed
+	a.appends[p] = 0
+	a.stats.Programs++
+	a.stats.BytesWritten += uint64(len(data))
+	a.mu.Unlock()
+	xfer := time.Duration(len(data)+len(oob)) * a.cfg.Timing.TransferPerByte
+	lat = a.occupy(w, p, a.geom.ProgramTime(a.cfg.Timing, p)+xfer)
+	return lat, nil
+}
+
+// ProgramDelta is the paper's write_delta: an ISPP re-program of a byte
+// range within an already-programmed page (plus, optionally, a range of
+// the OOB area for the delta's ECC). Every written bit must be a 1→0
+// transition or identity; otherwise ErrBitIncrease is returned and
+// nothing is written.
+func (a *Array) ProgramDelta(w *sim.Worker, p PPN, off int, delta []byte, oobOff int, oobDelta []byte) (lat time.Duration, err error) {
+	if err := a.checkPPN(p); err != nil {
+		return 0, err
+	}
+	if off < 0 || off+len(delta) > a.geom.PageSize {
+		return 0, fmt.Errorf("%w: delta [%d,%d) on %dB page", ErrBounds, off, off+len(delta), a.geom.PageSize)
+	}
+	if oobOff < 0 || oobOff+len(oobDelta) > a.geom.OOBSize {
+		return 0, fmt.Errorf("%w: oob delta [%d,%d) on %dB spare", ErrBounds, oobOff, oobOff+len(oobDelta), a.geom.OOBSize)
+	}
+	if !a.geom.IsLSB(p) {
+		return 0, fmt.Errorf("%w: ppn %d", ErrMSBAppend, p)
+	}
+	a.mu.Lock()
+	if int(a.appends[p]) >= a.cfg.DefaultMaxAppends() {
+		a.mu.Unlock()
+		return 0, fmt.Errorf("%w: ppn %d at %d appends", ErrAppendLimit, p, a.appends[p])
+	}
+	page := a.pageData(p)
+	for i, b := range delta {
+		old := page[off+i]
+		if b&^old != 0 { // a bit set in b but clear in old ⇒ charge decrease
+			a.mu.Unlock()
+			return 0, fmt.Errorf("%w: ppn %d offset %d: %#02x over %#02x", ErrBitIncrease, p, off+i, b, old)
+		}
+	}
+	spare := a.pageOOB(p)
+	for i, b := range oobDelta {
+		old := spare[oobOff+i]
+		if b&^old != 0 {
+			a.mu.Unlock()
+			return 0, fmt.Errorf("%w: ppn %d oob offset %d", ErrBitIncrease, p, oobOff+i)
+		}
+	}
+	copy(page[off:], delta)
+	copy(spare[oobOff:], oobDelta)
+	a.appends[p]++
+	a.stats.DeltaPrograms++
+	a.stats.BytesWritten += uint64(len(delta) + len(oobDelta))
+	// Program interference: flip a bit in the same byte range of an
+	// adjacent MSB page (harmless to IPA because MSB pages are always
+	// rewritten whole, Appendix C.2 — but the model injects it so the
+	// claim is actually exercised).
+	if a.cfg.InterferenceRate > 0 && a.geom.Cell != SLC && a.rng.Float64() < a.cfg.InterferenceRate {
+		if n := p + 1; int(n) < a.geom.TotalPages() && !a.geom.IsLSB(n) &&
+			a.geom.BlockOf(n) == a.geom.BlockOf(p) && a.state[n] == pageProgrammed && len(delta) > 0 {
+			victim := a.pageData(n)
+			bit := a.rng.Intn(len(delta) * 8)
+			victim[off+bit/8] &^= 1 << (bit % 8) // interference only adds charge
+			a.stats.Interference++
+		}
+	}
+	a.mu.Unlock()
+	xfer := time.Duration(len(delta)+len(oobDelta)) * a.cfg.Timing.TransferPerByte
+	lat = a.occupy(w, p, a.cfg.Timing.Delta+xfer)
+	return lat, nil
+}
+
+// Erase resets every page of the global block index to the erased state
+// and consumes one P/E cycle. ErrWornOut is returned once the endurance
+// budget is exhausted (the erase still happens; real worn blocks are
+// retired by the management layer).
+func (a *Array) Erase(w *sim.Worker, block int) (lat time.Duration, err error) {
+	if block < 0 || block >= a.geom.TotalBlocks() {
+		return 0, fmt.Errorf("%w: block %d of %d", ErrBounds, block, a.geom.TotalBlocks())
+	}
+	a.mu.Lock()
+	first := int(a.geom.FirstPageOfBlock(block))
+	n := a.geom.PagesPerBlock
+	for i := first; i < first+n; i++ {
+		a.state[i] = pageErased
+		a.appends[i] = 0
+	}
+	start := first * a.geom.PageSize
+	for i := start; i < start+n*a.geom.PageSize; i++ {
+		a.data[i] = 0xFF
+	}
+	ostart := first * a.geom.OOBSize
+	for i := ostart; i < ostart+n*a.geom.OOBSize; i++ {
+		a.oob[i] = 0xFF
+	}
+	a.lastProg[block] = -1
+	a.erases[block]++
+	a.stats.Erases++
+	worn := int(a.erases[block]) > a.cfg.endurance()
+	a.mu.Unlock()
+	lat = a.occupy(w, a.geom.FirstPageOfBlock(block), a.cfg.Timing.Erase)
+	if worn {
+		return lat, fmt.Errorf("%w: block %d", ErrWornOut, block)
+	}
+	return lat, nil
+}
+
+// Reprogram performs a Correct-and-Refresh style ISPP re-program
+// (Sec. 2.3 / [35]): the corrected image is programmed over the page in
+// place, restoring leaked charge. Every bit must be identical or a 1→0
+// transition relative to the stored state — exactly the property that
+// makes retention errors (charge leaks, 0→1 flips) repairable in place.
+// The operation does not consume the page's append budget.
+func (a *Array) Reprogram(w *sim.Worker, p PPN, data, oob []byte) (lat time.Duration, err error) {
+	if err := a.checkPPN(p); err != nil {
+		return 0, err
+	}
+	if len(data) != a.geom.PageSize {
+		return 0, fmt.Errorf("%w: reprogram %d bytes", ErrBounds, len(data))
+	}
+	if oob != nil && len(oob) != a.geom.OOBSize {
+		return 0, fmt.Errorf("%w: reprogram oob %d bytes", ErrBounds, len(oob))
+	}
+	a.mu.Lock()
+	if a.state[p] != pageProgrammed {
+		a.mu.Unlock()
+		return 0, fmt.Errorf("flash: reprogram of erased ppn %d", p)
+	}
+	page := a.pageData(p)
+	for i, b := range data {
+		if b&^page[i] != 0 {
+			a.mu.Unlock()
+			return 0, fmt.Errorf("%w: ppn %d offset %d (unrepairable in place)", ErrBitIncrease, p, i)
+		}
+	}
+	spare := a.pageOOB(p)
+	for i, b := range oob {
+		if b&^spare[i] != 0 {
+			a.mu.Unlock()
+			return 0, fmt.Errorf("%w: ppn %d oob offset %d", ErrBitIncrease, p, i)
+		}
+	}
+	copy(page, data)
+	copy(spare, oob)
+	a.stats.Refreshes++
+	a.stats.BytesWritten += uint64(len(data) + len(oob))
+	a.mu.Unlock()
+	xfer := time.Duration(len(data)+len(oob)) * a.cfg.Timing.TransferPerByte
+	lat = a.occupy(w, p, a.geom.ProgramTime(a.cfg.Timing, p)+xfer)
+	return lat, nil
+}
+
+// InjectLeak simulates charge leakage (a retention error): up to n
+// stored 0-bits of the page flip to 1 — the direction real charge loss
+// takes, and the one Correct-and-Refresh can repair. It returns how many
+// bits actually leaked (fewer if the page has few programmed bits).
+func (a *Array) InjectLeak(p PPN, n int) (int, error) {
+	if err := a.checkPPN(p); err != nil {
+		return 0, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	page := a.pageData(p)
+	leaked := 0
+	for try := 0; try < 64*n && leaked < n; try++ {
+		bit := a.rng.Intn(len(page) * 8)
+		if page[bit/8]>>(bit%8)&1 == 0 {
+			page[bit/8] |= 1 << (bit % 8)
+			leaked++
+		}
+	}
+	a.stats.LeakedBits += uint64(leaked)
+	return leaked, nil
+}

@@ -1,0 +1,286 @@
+// Package ftl implements conventional SSD firmware — the black-box
+// architecture the paper contrasts NoFTL with — behind the standard
+// block-device interface:
+//
+//   - PageFTL: page-level mapping with greedy garbage collection, the
+//     most capable (and RAM-hungry) conventional scheme;
+//   - HybridFTL: a FASTer-style hybrid mapping [23] where block-mapped
+//     data blocks absorb sequential writes and a small set of log blocks
+//     (the over-provisioning area) absorbs random writes until costly
+//     merge operations fold them back.
+//
+// Both support the paper's Sec. 7 extension: write_delta as an
+// additional command next to read and write, so In-Place Appends can be
+// realised on a traditional SSD ("at the cost of lower performance
+// compared to IPA under NoFTL") — the ftl tests and the ablation
+// benchmark quantify exactly that cost.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"ipa/internal/flash"
+	"ipa/internal/sim"
+)
+
+// LBA is a logical block address in page-size units.
+type LBA uint64
+
+// Errors of the FTL layer.
+var (
+	ErrDeviceFull   = errors.New("ftl: no free blocks")
+	ErrUnwritten    = errors.New("ftl: LBA never written")
+	ErrOutOfRange   = errors.New("ftl: LBA out of exported capacity")
+	ErrNoAppend     = errors.New("ftl: write_delta not possible at current location")
+	ErrBadLength    = errors.New("ftl: data length does not match page size")
+	ErrUnsupportedC = errors.New("ftl: command not supported by this FTL")
+)
+
+// Stats counts FTL-internal activity.
+type Stats struct {
+	HostReads    uint64
+	HostWrites   uint64
+	DeltaWrites  uint64
+	GCErases     uint64
+	GCMigrations uint64
+	Merges       uint64 // hybrid only: full/partial merges
+}
+
+// Device is the block-device interface of a conventional SSD, extended
+// with the paper's write_delta command (Sec. 7).
+type Device interface {
+	// Read returns the current content of the LBA.
+	Read(w *sim.Worker, lba LBA) ([]byte, error)
+	// Write stores a full page at the LBA (always out-of-place inside).
+	Write(w *sim.Worker, lba LBA, data []byte) error
+	// WriteDelta appends delta bytes to the LBA's *current physical
+	// location* via ISPP — the marginal extension that enables IPA on
+	// conventional SSDs. FTLs that cannot serve it return ErrNoAppend
+	// (caller falls back to Write) or ErrUnsupportedC.
+	WriteDelta(w *sim.Worker, lba LBA, off int, delta []byte) error
+	// Capacity is the exported size in pages.
+	Capacity() int
+	// Stats returns the internal counters.
+	Stats() Stats
+}
+
+// ---------------------------------------------------------------------
+// Page-level mapping FTL
+// ---------------------------------------------------------------------
+
+// PageFTL is a conventional SSD with page-level mapping: every host
+// write goes to the next free physical page; a greedy collector recycles
+// blocks. With EnableDelta it accepts write_delta on the mapped page.
+type PageFTL struct {
+	arr  *flash.Array
+	geom flash.Geometry
+
+	exported int // host-visible pages
+	mapping  []flash.PPN
+	reverse  map[flash.PPN]LBA
+	valid    []int // per block
+	free     []int
+	active   int
+	actNext  int
+	stats    Stats
+
+	// EnableDelta switches the write_delta extension on.
+	EnableDelta bool
+	// MaxAppends bounds ISPP re-programs per mapped page.
+	MaxAppends int
+}
+
+// NewPageFTL wraps a flash array, exporting capacity·(1−op) pages.
+func NewPageFTL(arr *flash.Array, op float64) (*PageFTL, error) {
+	if op <= 0 || op >= 0.9 {
+		op = 0.10
+	}
+	g := arr.Geometry()
+	exported := int(float64(g.TotalPages()) * (1 - op))
+	f := &PageFTL{
+		arr:        arr,
+		geom:       g,
+		exported:   exported,
+		mapping:    make([]flash.PPN, exported),
+		reverse:    make(map[flash.PPN]LBA),
+		valid:      make([]int, g.TotalBlocks()),
+		active:     -1,
+		MaxAppends: 3,
+	}
+	for i := range f.mapping {
+		f.mapping[i] = flash.InvalidPPN
+	}
+	for b := 0; b < g.TotalBlocks(); b++ {
+		f.free = append(f.free, b)
+	}
+	return f, nil
+}
+
+// Capacity implements Device.
+func (f *PageFTL) Capacity() int { return f.exported }
+
+// Stats implements Device.
+func (f *PageFTL) Stats() Stats { return f.stats }
+
+func (f *PageFTL) check(lba LBA, data []byte, needData bool) error {
+	if int(lba) >= f.exported {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, lba, f.exported)
+	}
+	if needData && len(data) != f.geom.PageSize {
+		return fmt.Errorf("%w: %d vs %d", ErrBadLength, len(data), f.geom.PageSize)
+	}
+	return nil
+}
+
+// Read implements Device.
+func (f *PageFTL) Read(w *sim.Worker, lba LBA) ([]byte, error) {
+	if err := f.check(lba, nil, false); err != nil {
+		return nil, err
+	}
+	ppn := f.mapping[lba]
+	if ppn == flash.InvalidPPN {
+		return nil, fmt.Errorf("%w: %d", ErrUnwritten, lba)
+	}
+	f.stats.HostReads++
+	data, _, _, err := f.arr.Read(w, ppn)
+	return data, err
+}
+
+// Write implements Device.
+func (f *PageFTL) Write(w *sim.Worker, lba LBA, data []byte) error {
+	if err := f.check(lba, data, true); err != nil {
+		return err
+	}
+	ppn, err := f.alloc(w)
+	if err != nil {
+		return err
+	}
+	if old := f.mapping[lba]; old != flash.InvalidPPN {
+		f.valid[f.geom.BlockOf(old)]--
+		delete(f.reverse, old)
+	}
+	if _, err := f.arr.Program(w, ppn, data, nil); err != nil {
+		return err
+	}
+	f.mapping[lba] = ppn
+	f.reverse[ppn] = lba
+	f.valid[f.geom.BlockOf(ppn)]++
+	f.stats.HostWrites++
+	return nil
+}
+
+// WriteDelta implements Device (the Sec. 7 extension).
+func (f *PageFTL) WriteDelta(w *sim.Worker, lba LBA, off int, delta []byte) error {
+	if !f.EnableDelta {
+		return ErrUnsupportedC
+	}
+	if err := f.check(lba, nil, false); err != nil {
+		return err
+	}
+	ppn := f.mapping[lba]
+	if ppn == flash.InvalidPPN {
+		return fmt.Errorf("%w: %d", ErrUnwritten, lba)
+	}
+	if !f.geom.IsLSB(ppn) || f.arr.Appends(ppn) >= f.MaxAppends {
+		return fmt.Errorf("%w: lba %d at ppn %d", ErrNoAppend, lba, ppn)
+	}
+	if _, err := f.arr.ProgramDelta(w, ppn, off, delta, 0, nil); err != nil {
+		return fmt.Errorf("%w: %v", ErrNoAppend, err)
+	}
+	f.stats.DeltaWrites++
+	return nil
+}
+
+// alloc returns the next free physical page, collecting when low.
+func (f *PageFTL) alloc(w *sim.Worker) (flash.PPN, error) {
+	for attempt := 0; attempt < 2*f.geom.TotalBlocks()+4; attempt++ {
+		if f.active >= 0 && f.actNext < f.geom.PagesPerBlock {
+			ppn := f.geom.FirstPageOfBlock(f.active) + flash.PPN(f.actNext)
+			f.actNext++
+			return ppn, nil
+		}
+		f.active = -1
+		if len(f.free) <= 2 {
+			if err := f.collect(w); err != nil && len(f.free) == 0 {
+				return 0, err
+			}
+			if f.active >= 0 && f.actNext < f.geom.PagesPerBlock {
+				continue
+			}
+		}
+		if len(f.free) == 0 {
+			return 0, ErrDeviceFull
+		}
+		f.active = f.free[0]
+		f.free = f.free[1:]
+		f.actNext = 0
+	}
+	return 0, ErrDeviceFull
+}
+
+// collect migrates the min-valid block and erases it.
+func (f *PageFTL) collect(w *sim.Worker) error {
+	victim := -1
+	inFree := make(map[int]bool, len(f.free))
+	for _, b := range f.free {
+		inFree[b] = true
+	}
+	for b := 0; b < f.geom.TotalBlocks(); b++ {
+		if b == f.active || inFree[b] {
+			continue
+		}
+		if victim < 0 || f.valid[b] < f.valid[victim] {
+			victim = b
+		}
+	}
+	if victim < 0 || f.valid[victim] >= f.geom.PagesPerBlock {
+		return ErrDeviceFull
+	}
+	base := f.geom.FirstPageOfBlock(victim)
+	for i := 0; i < f.geom.PagesPerBlock; i++ {
+		ppn := base + flash.PPN(i)
+		lba, ok := f.reverse[ppn]
+		if !ok {
+			continue
+		}
+		data, _, _, err := f.arr.Read(w, ppn)
+		if err != nil {
+			return err
+		}
+		dst, err := f.allocMigration(victim)
+		if err != nil {
+			return err
+		}
+		if _, err := f.arr.Program(w, dst, data, nil); err != nil {
+			return err
+		}
+		delete(f.reverse, ppn)
+		f.valid[victim]--
+		f.mapping[lba] = dst
+		f.reverse[dst] = lba
+		f.valid[f.geom.BlockOf(dst)]++
+		f.stats.GCMigrations++
+	}
+	if _, err := f.arr.Erase(w, victim); err != nil && !errors.Is(err, flash.ErrWornOut) {
+		return err
+	}
+	f.stats.GCErases++
+	f.free = append(f.free, victim)
+	return nil
+}
+
+func (f *PageFTL) allocMigration(victim int) (flash.PPN, error) {
+	if f.active >= 0 && f.active != victim && f.actNext < f.geom.PagesPerBlock {
+		ppn := f.geom.FirstPageOfBlock(f.active) + flash.PPN(f.actNext)
+		f.actNext++
+		return ppn, nil
+	}
+	if len(f.free) == 0 {
+		return 0, ErrDeviceFull
+	}
+	f.active = f.free[0]
+	f.free = f.free[1:]
+	f.actNext = 1
+	return f.geom.FirstPageOfBlock(f.active), nil
+}

@@ -1,0 +1,299 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ipa/internal/flash"
+)
+
+func newArr(t *testing.T, blocks, pages, pageSize int) *flash.Array {
+	t.Helper()
+	g := flash.Geometry{
+		Chips: 1, BlocksPerChip: blocks, PagesPerBlock: pages,
+		PageSize: pageSize, OOBSize: pageSize / 16, Cell: flash.SLC,
+	}
+	arr, err := flash.New(flash.Config{
+		Geometry: g, Timing: flash.SLCTiming(), StrictProgramOrder: true, MaxAppends: 8,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func pageImg(pageSize int, fill byte) []byte {
+	p := bytes.Repeat([]byte{0xFF}, pageSize)
+	for i := 0; i < 16; i++ {
+		p[i] = fill
+	}
+	return p
+}
+
+// deviceSuite exercises the Device contract on any implementation.
+func deviceSuite(t *testing.T, dev Device, pageSize int) {
+	t.Helper()
+	// Unwritten LBA.
+	if _, err := dev.Read(nil, 0); !errors.Is(err, ErrUnwritten) {
+		t.Errorf("read unwritten: %v", err)
+	}
+	// Out of range.
+	if _, err := dev.Read(nil, LBA(dev.Capacity())); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read OOR: %v", err)
+	}
+	if err := dev.Write(nil, LBA(dev.Capacity()), pageImg(pageSize, 1)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("write OOR: %v", err)
+	}
+	if err := dev.Write(nil, 0, make([]byte, 10)); !errors.Is(err, ErrBadLength) {
+		t.Errorf("short write: %v", err)
+	}
+	// Round trip + overwrite.
+	if err := dev.Write(nil, 0, pageImg(pageSize, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Write(nil, 0, pageImg(pageSize, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.Read(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Errorf("read = %d, want 2", got[0])
+	}
+}
+
+func TestPageFTLDevice(t *testing.T) {
+	f, err := NewPageFTL(newArr(t, 16, 8, 256), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deviceSuite(t, f, 256)
+	total := float64(16 * 8)
+	if f.Capacity() != int(total*0.8) {
+		t.Errorf("capacity = %d", f.Capacity())
+	}
+}
+
+func TestHybridFTLDevice(t *testing.T) {
+	h, err := NewHybridFTL(newArr(t, 16, 8, 256), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deviceSuite(t, h, 256)
+	// 16 blocks, 3 log (16*0.2=3), 2 spares → 11 exported blocks.
+	if h.Capacity() != 11*8 {
+		t.Errorf("capacity = %d", h.Capacity())
+	}
+}
+
+func TestPageFTLGC(t *testing.T) {
+	f, err := NewPageFTL(newArr(t, 8, 8, 256), 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite a small working set far beyond device capacity.
+	for round := 0; round < 20; round++ {
+		for lba := LBA(0); lba < 8; lba++ {
+			if err := f.Write(nil, lba, pageImg(256, byte(round))); err != nil {
+				t.Fatalf("round %d lba %d: %v", round, lba, err)
+			}
+		}
+	}
+	if f.Stats().GCErases == 0 {
+		t.Error("no GC after 160 writes on a 64-page device")
+	}
+	for lba := LBA(0); lba < 8; lba++ {
+		got, err := f.Read(nil, lba)
+		if err != nil || got[0] != 19 {
+			t.Fatalf("lba %d: %v %v", lba, got[0], err)
+		}
+	}
+}
+
+func TestHybridFTLMerge(t *testing.T) {
+	h, err := NewHybridFTL(newArr(t, 16, 8, 256), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer a few LBAs until the log pool forces merges.
+	for round := 0; round < 16; round++ {
+		for lba := LBA(0); lba < 4; lba++ {
+			if err := h.Write(nil, lba, pageImg(256, byte(round*4+int(lba)))); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+	}
+	if h.Stats().Merges == 0 {
+		t.Fatal("no merges after exhausting the log pool")
+	}
+	for lba := LBA(0); lba < 4; lba++ {
+		got, err := h.Read(nil, lba)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(15*4+int(lba)) {
+			t.Errorf("lba %d = %d", lba, got[0])
+		}
+	}
+}
+
+func TestWriteDeltaExtension(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		mk   func() Device
+	}{
+		{"page", func() Device {
+			f, _ := NewPageFTL(newArr(t, 16, 8, 256), 0.2)
+			f.EnableDelta = true
+			return f
+		}},
+		{"hybrid", func() Device {
+			h, _ := NewHybridFTL(newArr(t, 16, 8, 256), 0.2)
+			h.EnableDelta = true
+			return h
+		}},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			dev := mk.mk()
+			img := pageImg(256, 7) // tail erased
+			if err := dev.Write(nil, 0, img); err != nil {
+				t.Fatal(err)
+			}
+			if err := dev.WriteDelta(nil, 0, 200, []byte{0x11, 0x22}); err != nil {
+				t.Fatalf("write_delta: %v", err)
+			}
+			got, err := dev.Read(nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[200] != 0x11 || got[201] != 0x22 {
+				t.Error("delta not visible")
+			}
+			if got[0] != 7 {
+				t.Error("body disturbed")
+			}
+			if dev.Stats().DeltaWrites != 1 {
+				t.Errorf("DeltaWrites = %d", dev.Stats().DeltaWrites)
+			}
+			// Budget exhaustion (MaxAppends=3) falls back with ErrNoAppend.
+			for i := 0; i < 2; i++ {
+				if err := dev.WriteDelta(nil, 0, 210+i, []byte{0x01}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := dev.WriteDelta(nil, 0, 220, []byte{0x01}); !errors.Is(err, ErrNoAppend) {
+				t.Errorf("append past budget: %v", err)
+			}
+		})
+	}
+}
+
+func TestWriteDeltaDisabledByDefault(t *testing.T) {
+	f, _ := NewPageFTL(newArr(t, 8, 8, 256), 0.2)
+	f.Write(nil, 0, pageImg(256, 1))
+	if err := f.WriteDelta(nil, 0, 0, []byte{0}); !errors.Is(err, ErrUnsupportedC) {
+		t.Errorf("delta on stock FTL: %v", err)
+	}
+}
+
+// The paper's Sec. 7 claim quantified: with the write_delta extension a
+// conventional page-mapped SSD running an IPA-style update pattern
+// erases substantially less than the same SSD without it.
+func TestDeltaExtensionReducesErases(t *testing.T) {
+	run := func(enable bool) Stats {
+		f, err := NewPageFTL(newArr(t, 32, 16, 256), 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.EnableDelta = enable
+		f.MaxAppends = 2
+		rng := rand.New(rand.NewSource(3))
+		working := 200
+		for lba := 0; lba < working; lba++ {
+			if err := f.Write(nil, LBA(lba), pageImg(256, byte(lba))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		appends := make([]int, working)
+		for i := 0; i < 4000; i++ {
+			lba := rng.Intn(working)
+			// Small update: try the delta path first, as the storage
+			// manager would.
+			if enable && appends[lba] < 2 {
+				off := 200 + appends[lba]*10
+				if err := f.WriteDelta(nil, LBA(lba), off, []byte{0x00}); err == nil {
+					appends[lba]++
+					continue
+				}
+			}
+			if err := f.Write(nil, LBA(lba), pageImg(256, byte(i))); err != nil {
+				t.Fatal(err)
+			}
+			appends[lba] = 0
+		}
+		return f.Stats()
+	}
+	off := run(false)
+	on := run(true)
+	if off.GCErases == 0 {
+		t.Skip("workload too small for GC")
+	}
+	if float64(on.GCErases) > 0.7*float64(off.GCErases) {
+		t.Errorf("delta extension erases %d not clearly below %d", on.GCErases, off.GCErases)
+	}
+	if on.DeltaWrites == 0 {
+		t.Error("no delta writes recorded")
+	}
+}
+
+// Hybrid-vs-page shape: under random small overwrites the hybrid FTL
+// merges aggressively and erases more than page mapping — the reason the
+// paper calls page-level mapping "the most efficient for OLTP".
+func TestHybridWorseThanPageOnRandomWrites(t *testing.T) {
+	writes := func(dev Device) Stats {
+		rng := rand.New(rand.NewSource(9))
+		n := dev.Capacity() / 2
+		for lba := 0; lba < n; lba++ {
+			if err := dev.Write(nil, LBA(lba), pageImg(256, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3000; i++ {
+			if err := dev.Write(nil, LBA(rng.Intn(n)), pageImg(256, byte(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dev.Stats()
+	}
+	pf, _ := NewPageFTL(newArr(t, 32, 16, 256), 0.15)
+	hf, _ := NewHybridFTL(newArr(t, 32, 16, 256), 0.15)
+	ps := writes(pf)
+	hs := writes(hf)
+	if hs.GCErases <= ps.GCErases {
+		t.Errorf("hybrid erases %d ≤ page-mapped %d; expected hybrid to churn more", hs.GCErases, ps.GCErases)
+	}
+}
+
+func TestPageFTLDeviceFull(t *testing.T) {
+	f, err := NewPageFTL(newArr(t, 2, 4, 256), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exported 6 pages on an 8-page device: fill them, then overwrite
+	// forever; GC must keep it alive.
+	for round := 0; round < 10; round++ {
+		for lba := 0; lba < f.Capacity(); lba++ {
+			if err := f.Write(nil, LBA(lba), pageImg(256, byte(round))); err != nil {
+				// Tight devices may legitimately fill; accept ErrDeviceFull
+				// but nothing else.
+				if !errors.Is(err, ErrDeviceFull) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"ipa/internal/flash"
+	"ipa/internal/sim"
+)
+
+// HybridFTL is a FASTer-style hybrid-mapping SSD [23]: the exported
+// capacity is block-mapped (each logical block owns one data block on
+// flash), and a small pool of page-mapped *log blocks* — the
+// over-provisioning area — absorbs every incoming write. When the log
+// pool runs out, a merge folds the log pages of a victim log block back
+// into their data blocks: for each touched logical block the valid pages
+// of old data block + log pages are read, the new data block is written,
+// and the stale blocks are erased. This is the "typical SSD" the paper
+// says suffers most under random small updates — and benefits most from
+// IPA's slower consumption of the log area (Sec. 8.4, over-provisioning
+// discussion).
+type HybridFTL struct {
+	arr  *flash.Array
+	geom flash.Geometry
+
+	exported   int   // host pages
+	dataBlocks []int // logical block → physical block (-1 = unwritten)
+	// pageLoc: per exported LBA, the current physical location: either in
+	// its data block (implicit) or in a log block (explicit entry).
+	logLoc map[LBA]flash.PPN
+
+	logPool  []int // physical blocks reserved as log blocks
+	freeLog  []int
+	actLog   int
+	actNext  int
+	freeData []int
+	stats    Stats
+
+	EnableDelta bool
+	MaxAppends  int
+}
+
+// NewHybridFTL wraps a flash array: logFrac of the blocks become the log
+// pool (the paper's SSDs use 7–10%).
+func NewHybridFTL(arr *flash.Array, logFrac float64) (*HybridFTL, error) {
+	if logFrac <= 0 || logFrac >= 0.5 {
+		logFrac = 0.10
+	}
+	g := arr.Geometry()
+	total := g.TotalBlocks()
+	logBlocks := int(float64(total) * logFrac)
+	if logBlocks < 2 {
+		logBlocks = 2
+	}
+	dataBlocks := total - logBlocks
+	// Two spare data blocks stay unexported so merges always have a
+	// target while the old data block is still valid.
+	const spares = 2
+	if dataBlocks <= spares {
+		return nil, fmt.Errorf("ftl: no data blocks left")
+	}
+	h := &HybridFTL{
+		arr: arr, geom: g,
+		exported:   (dataBlocks - spares) * g.PagesPerBlock,
+		dataBlocks: make([]int, dataBlocks-spares),
+		logLoc:     make(map[LBA]flash.PPN),
+		actLog:     -1,
+		MaxAppends: 3,
+	}
+	for i := range h.dataBlocks {
+		h.dataBlocks[i] = -1
+	}
+	// Blocks [0, dataBlocks) are candidates for data; the tail is the
+	// initial log pool. Both sets are recycled dynamically.
+	for b := 0; b < dataBlocks; b++ {
+		h.freeData = append(h.freeData, b)
+	}
+	for b := dataBlocks; b < total; b++ {
+		h.logPool = append(h.logPool, b)
+		h.freeLog = append(h.freeLog, b)
+	}
+	return h, nil
+}
+
+// Capacity implements Device.
+func (h *HybridFTL) Capacity() int { return h.exported }
+
+// Stats implements Device.
+func (h *HybridFTL) Stats() Stats { return h.stats }
+
+func (h *HybridFTL) logicalBlock(lba LBA) (blk, off int) {
+	return int(lba) / h.geom.PagesPerBlock, int(lba) % h.geom.PagesPerBlock
+}
+
+// locate returns the current physical page of the LBA.
+func (h *HybridFTL) locate(lba LBA) (flash.PPN, bool) {
+	if ppn, ok := h.logLoc[lba]; ok {
+		return ppn, true
+	}
+	blk, off := h.logicalBlock(lba)
+	phys := h.dataBlocks[blk]
+	if phys < 0 {
+		return 0, false
+	}
+	ppn := h.geom.FirstPageOfBlock(phys) + flash.PPN(off)
+	if h.arr.IsErased(ppn) {
+		return 0, false
+	}
+	return ppn, true
+}
+
+// Read implements Device.
+func (h *HybridFTL) Read(w *sim.Worker, lba LBA) ([]byte, error) {
+	if int(lba) >= h.exported {
+		return nil, fmt.Errorf("%w: %d", ErrOutOfRange, lba)
+	}
+	ppn, ok := h.locate(lba)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnwritten, lba)
+	}
+	h.stats.HostReads++
+	data, _, _, err := h.arr.Read(w, ppn)
+	return data, err
+}
+
+// Write implements Device: every write lands in a log block.
+func (h *HybridFTL) Write(w *sim.Worker, lba LBA, data []byte) error {
+	if int(lba) >= h.exported {
+		return fmt.Errorf("%w: %d", ErrOutOfRange, lba)
+	}
+	if len(data) != h.geom.PageSize {
+		return fmt.Errorf("%w: %d", ErrBadLength, len(data))
+	}
+	ppn, err := h.allocLog(w)
+	if err != nil {
+		return err
+	}
+	if _, err := h.arr.Program(w, ppn, data, nil); err != nil {
+		return err
+	}
+	h.logLoc[lba] = ppn
+	h.stats.HostWrites++
+	return nil
+}
+
+// WriteDelta implements Device: the append goes to the LBA's current
+// physical location — data block or log block alike.
+func (h *HybridFTL) WriteDelta(w *sim.Worker, lba LBA, off int, delta []byte) error {
+	if !h.EnableDelta {
+		return ErrUnsupportedC
+	}
+	ppn, ok := h.locate(lba)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnwritten, lba)
+	}
+	if !h.geom.IsLSB(ppn) || h.arr.Appends(ppn) >= h.MaxAppends {
+		return fmt.Errorf("%w: lba %d", ErrNoAppend, lba)
+	}
+	if _, err := h.arr.ProgramDelta(w, ppn, off, delta, 0, nil); err != nil {
+		return fmt.Errorf("%w: %v", ErrNoAppend, err)
+	}
+	h.stats.DeltaWrites++
+	return nil
+}
+
+// allocLog returns the next log page, merging when the pool is empty.
+func (h *HybridFTL) allocLog(w *sim.Worker) (flash.PPN, error) {
+	for attempt := 0; attempt < 2*len(h.logPool)+4; attempt++ {
+		if h.actLog >= 0 && h.actNext < h.geom.PagesPerBlock {
+			ppn := h.geom.FirstPageOfBlock(h.actLog) + flash.PPN(h.actNext)
+			h.actNext++
+			return ppn, nil
+		}
+		h.actLog = -1
+		if len(h.freeLog) == 0 {
+			if err := h.merge(w); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		h.actLog = h.freeLog[0]
+		h.freeLog = h.freeLog[1:]
+		h.actNext = 0
+	}
+	return 0, ErrDeviceFull
+}
+
+// merge folds all log entries back into their data blocks (a "full
+// merge" across the whole log pool — FASTer amortises this more finely;
+// the blocking, expensive nature is what matters for the comparison).
+func (h *HybridFTL) merge(w *sim.Worker) error {
+	if len(h.logLoc) == 0 {
+		return ErrDeviceFull
+	}
+	h.stats.Merges++
+	// Group log entries by logical block.
+	groups := make(map[int][]LBA)
+	for lba := range h.logLoc {
+		blk, _ := h.logicalBlock(lba)
+		groups[blk] = append(groups[blk], lba)
+	}
+	for blk, lbas := range groups {
+		if err := h.mergeBlock(w, blk, lbas); err != nil {
+			return err
+		}
+	}
+	// All used log blocks are now stale: erase and refill the pool.
+	stillFree := make(map[int]bool, len(h.freeLog))
+	for _, b := range h.freeLog {
+		stillFree[b] = true
+	}
+	h.freeLog = h.freeLog[:0]
+	for _, b := range h.logPool {
+		if !stillFree[b] {
+			if _, err := h.arr.Erase(w, b); err != nil && !errors.Is(err, flash.ErrWornOut) {
+				return err
+			}
+			h.stats.GCErases++
+		}
+		h.freeLog = append(h.freeLog, b)
+	}
+	h.actLog = -1
+	return nil
+}
+
+// mergeBlock rewrites one logical block combining its data block with
+// the log entries.
+func (h *HybridFTL) mergeBlock(w *sim.Worker, blk int, lbas []LBA) error {
+	inLog := make(map[int]flash.PPN, len(lbas))
+	for _, lba := range lbas {
+		_, off := h.logicalBlock(lba)
+		inLog[off] = h.logLoc[lba]
+		delete(h.logLoc, lba)
+	}
+	oldPhys := h.dataBlocks[blk]
+	if len(h.freeData) == 0 {
+		return ErrDeviceFull
+	}
+	newPhys := h.freeData[0]
+	h.freeData = h.freeData[1:]
+	base := h.geom.FirstPageOfBlock(newPhys)
+	for off := 0; off < h.geom.PagesPerBlock; off++ {
+		var src flash.PPN
+		var have bool
+		if p, ok := inLog[off]; ok {
+			src, have = p, true
+		} else if oldPhys >= 0 {
+			p := h.geom.FirstPageOfBlock(oldPhys) + flash.PPN(off)
+			if !h.arr.IsErased(p) {
+				src, have = p, true
+			}
+		}
+		if !have {
+			continue
+		}
+		data, _, _, err := h.arr.Read(w, src)
+		if err != nil {
+			return err
+		}
+		if _, err := h.arr.Program(w, base+flash.PPN(off), data, nil); err != nil {
+			return err
+		}
+		h.stats.GCMigrations++
+	}
+	h.dataBlocks[blk] = newPhys
+	if oldPhys >= 0 {
+		if _, err := h.arr.Erase(w, oldPhys); err != nil && !errors.Is(err, flash.ErrWornOut) {
+			return err
+		}
+		h.stats.GCErases++
+		h.freeData = append(h.freeData, oldPhys)
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+// Package metrics provides the measurement primitives the experiment
+// harness reports: exact integer histograms (update-size distributions,
+// Table 1/11 and Figures 7-10), CDF extraction, and latency recorders for
+// I/O response times.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hist is an exact histogram over small non-negative integers (update
+// sizes in bytes). Values above the cap are clamped into the overflow
+// bucket. Safe for concurrent use.
+type Hist struct {
+	mu     sync.Mutex
+	counts []uint64
+	over   uint64
+	total  uint64
+	sum    uint64
+}
+
+// NewHist creates a histogram covering values 0..max.
+func NewHist(max int) *Hist {
+	if max < 1 {
+		max = 1
+	}
+	return &Hist{counts: make([]uint64, max+1)}
+}
+
+// Add records one observation.
+func (h *Hist) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.total++
+	h.sum += uint64(v)
+	if v >= len(h.counts) {
+		h.over++
+		return
+	}
+	h.counts[v]++
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the average observation.
+func (h *Hist) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// FractionLE returns the fraction of observations ≤ v — the paper's
+// "≤ 3 bytes lies at the 55th percentile" reads as FractionLE(3) = 0.55.
+func (h *Hist) FractionLE(v int) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if v >= len(h.counts) {
+		return 1
+	}
+	var c uint64
+	for i := 0; i <= v; i++ {
+		c += h.counts[i]
+	}
+	return float64(c) / float64(h.total)
+}
+
+// PercentileLE returns FractionLE scaled to a percentile (0-100).
+func (h *Hist) PercentileLE(v int) float64 { return 100 * h.FractionLE(v) }
+
+// Quantile returns the smallest value v with FractionLE(v) ≥ q
+// (0 < q ≤ 1). The overflow bucket reports as the cap.
+func (h *Hist) Quantile(q float64) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	need := uint64(math.Ceil(q * float64(h.total)))
+	if need == 0 {
+		need = 1
+	}
+	var c uint64
+	for i, n := range h.counts {
+		c += n
+		if c >= need {
+			return i
+		}
+	}
+	return len(h.counts) - 1
+}
+
+// CDF evaluates FractionLE at each of the given points.
+func (h *Hist) CDF(points []int) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = h.FractionLE(p)
+	}
+	return out
+}
+
+// Reset clears all observations.
+func (h *Hist) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.over, h.total, h.sum = 0, 0, 0
+}
+
+// Latency records durations with exact mean/min/max and approximate
+// quantiles via power-of-two bucketing. Safe for concurrent use.
+type Latency struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [64]uint64 // bucket i holds durations in [2^i, 2^(i+1)) ns
+}
+
+// Add records one duration.
+func (l *Latency) Add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 || d < l.min {
+		l.min = d
+	}
+	if d > l.max {
+		l.max = d
+	}
+	l.count++
+	l.sum += d
+	l.buckets[bucketOf(d)]++
+}
+
+func bucketOf(d time.Duration) int {
+	n := int64(d)
+	b := 0
+	for n > 1 && b < 63 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (l *Latency) Count() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Mean returns the average duration.
+func (l *Latency) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 {
+		return 0
+	}
+	return l.sum / time.Duration(l.count)
+}
+
+// Min returns the smallest observation.
+func (l *Latency) Min() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.min
+}
+
+// Max returns the largest observation.
+func (l *Latency) Max() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.max
+}
+
+// Quantile returns an upper bound of the q-quantile (bucket upper edge).
+func (l *Latency) Quantile(q float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 {
+		return 0
+	}
+	need := uint64(math.Ceil(q * float64(l.count)))
+	if need == 0 {
+		need = 1
+	}
+	var c uint64
+	for i, n := range l.buckets {
+		c += n
+		if c >= need {
+			return time.Duration(int64(1) << uint(i+1))
+		}
+	}
+	return l.max
+}
+
+// Reset clears all observations.
+func (l *Latency) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count, l.sum, l.min, l.max = 0, 0, 0, 0
+	l.buckets = [64]uint64{}
+}
+
+// Series is a labelled sequence of (x, y) points used by the figure
+// harness to print CDFs and sweeps the way the paper plots them.
+type Series struct {
+	Label  string
+	X      []float64
+	Y      []float64
+	XLabel string
+	YLabel string
+}
+
+// Render prints the series as aligned columns.
+func (s Series) Render() string {
+	out := fmt.Sprintf("# %s  (%s vs %s)\n", s.Label, s.XLabel, s.YLabel)
+	for i := range s.X {
+		out += fmt.Sprintf("%12.2f %12.4f\n", s.X[i], s.Y[i])
+	}
+	return out
+}
+
+// SortedKeys returns the sorted keys of a map with int keys — a small
+// helper for deterministic table printing.
+func SortedKeys[M ~map[int]V, V any](m M) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

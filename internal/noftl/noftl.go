@@ -1,0 +1,731 @@
+// Package noftl implements the NoFTL architecture the paper builds on
+// (Sec. 5): flash management lifted out of the device and integrated with
+// the DBMS, giving the storage manager direct control over physical flash
+// pages. It provides
+//
+//   - regions: subsets of the flash array with their own IPA mode (none,
+//     SLC, pSLC, odd-MLC) and [N×M] scheme, so In-Place Appends can be
+//     applied selectively per database object;
+//   - page-level logical→physical mapping with out-of-place writes;
+//   - a greedy garbage collector with page migrations and wear-aware
+//     free-block selection;
+//   - the paper's write_delta I/O command (Sec. 7), which appends a
+//     delta-record to the very same physical flash page a database page
+//     resides on.
+package noftl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ipa/internal/core"
+	"ipa/internal/flash"
+	"ipa/internal/sim"
+)
+
+// Errors of the NoFTL layer.
+var (
+	ErrUnknownPage   = errors.New("noftl: logical page not mapped")
+	ErrRegionFull    = errors.New("noftl: region logical capacity exhausted")
+	ErrNoSpace       = errors.New("noftl: garbage collection cannot reclaim space")
+	ErrNotAppendable = errors.New("noftl: physical page does not accept in-place appends")
+	ErrRegionExists  = errors.New("noftl: region name already in use")
+	ErrNoBlocks      = errors.New("noftl: not enough unassigned blocks")
+)
+
+// IPAMode selects how a region exploits the flash type for In-Place
+// Appends (Sec. 4 / Appendix C).
+type IPAMode int
+
+const (
+	// ModeNone disables IPA: every write is out-of-place (the [0×0]
+	// baseline).
+	ModeNone IPAMode = iota
+	// ModeSLC applies IPA on SLC flash: every page accepts appends.
+	ModeSLC
+	// ModePSLC uses MLC flash in pseudo-SLC mode: only LSB pages are
+	// programmed, halving capacity, and every used page accepts appends.
+	ModePSLC
+	// ModeOddMLC uses the full MLC capacity; appends are possible only on
+	// pages that happen to live on LSB pages.
+	ModeOddMLC
+)
+
+func (m IPAMode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeSLC:
+		return "SLC"
+	case ModePSLC:
+		return "pSLC"
+	case ModeOddMLC:
+		return "odd-MLC"
+	default:
+		return fmt.Sprintf("IPAMode(%d)", int(m))
+	}
+}
+
+// RegionConfig mirrors the paper's CREATE REGION statement (Figure 3).
+type RegionConfig struct {
+	Name   string
+	Mode   IPAMode
+	Scheme core.Scheme
+
+	// Chips the region spans (indices into the array). Empty = all chips.
+	Chips []int
+	// BlocksPerChip assigned to the region on each of its chips.
+	BlocksPerChip int
+	// OverProvision is the fraction of the region's physical pages kept
+	// out of the logical capacity to give the garbage collector slack.
+	// Zero selects the paper's 10%.
+	OverProvision float64
+	// GCReserve is the per-chip low-water mark of free blocks that
+	// triggers garbage collection. Zero selects 2.
+	GCReserve int
+	// WearDelta triggers static wear leveling: when the erase-count gap
+	// between the most- and least-worn block of a chip exceeds this, the
+	// coldest block's content is migrated so the under-worn block joins
+	// the free pool. Zero disables static wear leveling.
+	WearDelta int
+}
+
+func (rc RegionConfig) overProvision() float64 {
+	if rc.OverProvision <= 0 {
+		return 0.10
+	}
+	return rc.OverProvision
+}
+
+func (rc RegionConfig) gcReserve() int {
+	// Below 2 the collector can find itself without a migration target
+	// (one block erasing, none free to receive valid pages), so 2 is the
+	// floor as well as the default.
+	if rc.GCReserve < 2 {
+		return 2
+	}
+	return rc.GCReserve
+}
+
+// Stats are the per-region counters the paper reports.
+type Stats struct {
+	HostReads        uint64 // logical page reads
+	OutOfPlaceWrites uint64 // full-page writes to a new location
+	DeltaWrites      uint64 // write_delta commands (in-place appends)
+	GCPageMigrations uint64 // valid pages rewritten by the collector
+	GCErases         uint64 // block erases by the collector
+	WLMigrations     uint64 // pages moved by static wear leveling
+	WLErases         uint64 // erases performed by static wear leveling
+
+	// Latency sums (simulated) for response-time reporting.
+	ReadTime  time.Duration
+	WriteTime time.Duration
+	DeltaTime time.Duration
+	GCTime    time.Duration
+}
+
+// HostWrites is the paper's /Host Writes/: every DBMS write request,
+// whether served as an out-of-place write or as an in-place append.
+func (s Stats) HostWrites() uint64 { return s.OutOfPlaceWrites + s.DeltaWrites }
+
+// IPAFraction is the share of host writes served as in-place appends
+// (the "Out-of-Place Writes vs. In-Place Appends" row).
+func (s Stats) IPAFraction() float64 {
+	if s.HostWrites() == 0 {
+		return 0
+	}
+	return float64(s.DeltaWrites) / float64(s.HostWrites())
+}
+
+// MigrationsPerHostWrite is the paper's [GC Page Migrations per Host Write].
+func (s Stats) MigrationsPerHostWrite() float64 {
+	if s.HostWrites() == 0 {
+		return 0
+	}
+	return float64(s.GCPageMigrations) / float64(s.HostWrites())
+}
+
+// ErasesPerHostWrite is the paper's [GC Erases per Host Write].
+func (s Stats) ErasesPerHostWrite() float64 {
+	if s.HostWrites() == 0 {
+		return 0
+	}
+	return float64(s.GCErases) / float64(s.HostWrites())
+}
+
+// blockMeta tracks the collector-relevant state of one erase unit.
+type blockMeta struct {
+	id     int // global block index
+	chip   int
+	valid  int  // valid pages currently stored
+	active bool // current write point of its chip
+	free   bool // erased and unassigned
+	next   int  // next usable page slot index (not PPN) within the block
+}
+
+// Region is a slice of the device with its own IPA mode, mapping and
+// garbage collector. Methods are safe for concurrent use.
+type Region struct {
+	dev *Device
+	cfg RegionConfig
+
+	mu      sync.Mutex
+	mapping map[core.PageID]flash.PPN
+	reverse map[flash.PPN]core.PageID
+	blocks  map[int]*blockMeta // by global block id
+	byChip  map[int][]*blockMeta
+	freeCnt map[int]int        // free blocks per chip
+	active  map[int]*blockMeta // write point per chip
+	rr      int                // round-robin chip cursor for new pages
+	chips   []int
+	stats   Stats
+	logical int // logical page capacity
+}
+
+// Device owns the flash array and hands out regions.
+type Device struct {
+	arr  *flash.Array
+	geom flash.Geometry
+
+	mu        sync.Mutex
+	regions   map[string]*Region
+	nextBlock []int // per chip: next unassigned block index within chip
+}
+
+// Open wraps an existing flash array in a NoFTL device.
+func Open(arr *flash.Array) *Device {
+	g := arr.Geometry()
+	return &Device{
+		arr:       arr,
+		geom:      g,
+		regions:   make(map[string]*Region),
+		nextBlock: make([]int, g.Chips),
+	}
+}
+
+// Geometry returns the underlying array geometry.
+func (d *Device) Geometry() flash.Geometry { return d.geom }
+
+// Array exposes the raw flash (used by tests and low-level tools).
+func (d *Device) Array() *flash.Array { return d.arr }
+
+// Region returns a created region by name, or nil.
+func (d *Device) Region(name string) *Region {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.regions[name]
+}
+
+// CreateRegion carves a new region out of unassigned blocks.
+func (d *Device) CreateRegion(rc RegionConfig) (*Region, error) {
+	if err := rc.Scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if (rc.Mode == ModePSLC || rc.Mode == ModeOddMLC) && d.geom.Cell != flash.MLC {
+		return nil, fmt.Errorf("noftl: mode %v requires MLC flash", rc.Mode)
+	}
+	if rc.Mode == ModeSLC && d.geom.Cell != flash.SLC {
+		return nil, fmt.Errorf("noftl: mode SLC requires SLC flash")
+	}
+	if rc.BlocksPerChip <= 0 {
+		return nil, fmt.Errorf("noftl: region %q needs BlocksPerChip > 0", rc.Name)
+	}
+	chips := rc.Chips
+	if len(chips) == 0 {
+		chips = make([]int, d.geom.Chips)
+		for i := range chips {
+			chips[i] = i
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.regions[rc.Name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrRegionExists, rc.Name)
+	}
+	for _, c := range chips {
+		if c < 0 || c >= d.geom.Chips {
+			return nil, fmt.Errorf("noftl: chip %d out of range", c)
+		}
+		if d.nextBlock[c]+rc.BlocksPerChip > d.geom.BlocksPerChip {
+			return nil, fmt.Errorf("%w: chip %d has %d left, need %d",
+				ErrNoBlocks, c, d.geom.BlocksPerChip-d.nextBlock[c], rc.BlocksPerChip)
+		}
+	}
+	r := &Region{
+		dev:     d,
+		cfg:     rc,
+		mapping: make(map[core.PageID]flash.PPN),
+		reverse: make(map[flash.PPN]core.PageID),
+		blocks:  make(map[int]*blockMeta),
+		byChip:  make(map[int][]*blockMeta),
+		freeCnt: make(map[int]int),
+		active:  make(map[int]*blockMeta),
+		chips:   append([]int(nil), chips...),
+	}
+	physPages := 0
+	for _, c := range chips {
+		for i := 0; i < rc.BlocksPerChip; i++ {
+			gid := c*d.geom.BlocksPerChip + d.nextBlock[c] + i
+			bm := &blockMeta{id: gid, chip: c, free: true}
+			r.blocks[gid] = bm
+			r.byChip[c] = append(r.byChip[c], bm)
+			r.freeCnt[c]++
+			physPages += r.usablePagesPerBlock()
+		}
+		d.nextBlock[c] += rc.BlocksPerChip
+	}
+	r.logical = int(float64(physPages) * (1 - rc.overProvision()))
+	if r.logical < 1 {
+		return nil, fmt.Errorf("noftl: region %q has no logical capacity", rc.Name)
+	}
+	d.regions[rc.Name] = r
+	return r, nil
+}
+
+// usablePagesPerBlock accounts for pSLC halving.
+func (r *Region) usablePagesPerBlock() int {
+	if r.cfg.Mode == ModePSLC {
+		return r.dev.geom.PagesPerBlock / 2
+	}
+	return r.dev.geom.PagesPerBlock
+}
+
+// pageSlotToPPN maps a usable slot index within a block to a PPN,
+// skipping MSB pages in pSLC mode.
+func (r *Region) pageSlotToPPN(block, slot int) flash.PPN {
+	base := r.dev.geom.FirstPageOfBlock(block)
+	if r.cfg.Mode == ModePSLC {
+		return base + flash.PPN(slot*2) // even indices are LSB pages
+	}
+	return base + flash.PPN(slot)
+}
+
+// Name returns the region name.
+func (r *Region) Name() string { return r.cfg.Name }
+
+// PageSize returns the flash page size backing the region.
+func (r *Region) PageSize() int { return r.dev.geom.PageSize }
+
+// OOBSize returns the per-page spare-area size available for ECC.
+func (r *Region) OOBSize() int { return r.dev.geom.OOBSize }
+
+// Mode returns the region's IPA mode.
+func (r *Region) Mode() IPAMode { return r.cfg.Mode }
+
+// Scheme returns the region's [N×M] scheme.
+func (r *Region) Scheme() core.Scheme { return r.cfg.Scheme }
+
+// LogicalCapacity is the number of logical pages the region can map.
+func (r *Region) LogicalCapacity() int { return r.logical }
+
+// MappedPages returns the number of currently mapped logical pages.
+func (r *Region) MappedPages() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.mapping)
+}
+
+// Stats returns a snapshot of the region counters.
+func (r *Region) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// ResetStats zeroes the region counters.
+func (r *Region) ResetStats() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats = Stats{}
+}
+
+// Contains reports whether the logical page is mapped in this region.
+func (r *Region) Contains(id core.PageID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.mapping[id]
+	return ok
+}
+
+// PPNOf returns the current physical location of a logical page.
+func (r *Region) PPNOf(id core.PageID) (flash.PPN, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.mapping[id]
+	return p, ok
+}
+
+// Read fetches the logical page's data and OOB area.
+func (r *Region) Read(w *sim.Worker, id core.PageID) (data, oob []byte, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ppn, ok := r.mapping[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	}
+	r.stats.HostReads++
+	data, oob, lat, err := r.dev.arr.Read(w, ppn)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.stats.ReadTime += lat
+	return data, oob, nil
+}
+
+// Write stores a full logical page out-of-place: the page is programmed
+// at the region's write point and any previous version is invalidated.
+// Garbage collection runs foreground when free space is low, exactly the
+// interference the paper measures.
+func (r *Region) Write(w *sim.Worker, id core.PageID, data, oob []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev, existed := r.mapping[id]
+	if !existed && len(r.mapping) >= r.logical {
+		return fmt.Errorf("%w: %q at %d pages", ErrRegionFull, r.cfg.Name, r.logical)
+	}
+	chip := r.chips[r.rr%len(r.chips)]
+	r.rr++
+	if existed {
+		chip = r.dev.geom.ChipOf(prev) // keep a page on its chip for locality
+	}
+	ppn, err := r.allocLocked(w, chip)
+	if err != nil {
+		return err
+	}
+	// Invalidate the old version after successful allocation. Re-read the
+	// mapping: garbage collection inside allocLocked may have migrated the
+	// previous copy, making the earlier lookup stale.
+	if existed {
+		if cur, ok := r.mapping[id]; ok {
+			r.invalidateLocked(cur)
+		}
+	}
+	r.mapping[id] = ppn
+	r.reverse[ppn] = id
+	r.blocks[r.dev.geom.BlockOf(ppn)].valid++
+	r.stats.OutOfPlaceWrites++
+	lat, err := r.dev.arr.Program(w, ppn, data, oob)
+	if err != nil {
+		return fmt.Errorf("noftl: program page %d at ppn %d: %w", id, ppn, err)
+	}
+	r.stats.WriteTime += lat
+	return nil
+}
+
+// CanAppend reports whether the logical page's current physical location
+// accepts a write_delta (mode allows it, page is an LSB page, and the
+// chip's re-program budget is not exhausted).
+func (r *Region) CanAppend(id core.PageID) bool {
+	r.mu.Lock()
+	ppn, ok := r.mapping[id]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	switch r.cfg.Mode {
+	case ModeNone:
+		return false
+	case ModeOddMLC:
+		if !r.dev.geom.IsLSB(ppn) {
+			return false
+		}
+	}
+	return r.dev.arr.Appends(ppn) < r.maxAppends()
+}
+
+func (r *Region) maxAppends() int {
+	if n := r.cfg.Scheme.N; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// WriteDelta is the paper's write_delta(LBA, offset, delta_length,
+// delta_bytes) command, extended with an optional OOB range so the
+// per-record ECC can be appended alongside (Sec. 6.2). The delta is
+// ISPP-programmed onto the page's current physical location.
+func (r *Region) WriteDelta(w *sim.Worker, id core.PageID, off int, delta []byte, oobOff int, oobDelta []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ppn, ok := r.mapping[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	}
+	if r.cfg.Mode == ModeNone {
+		return fmt.Errorf("%w: region %q has IPA disabled", ErrNotAppendable, r.cfg.Name)
+	}
+	if r.cfg.Mode == ModeOddMLC && !r.dev.geom.IsLSB(ppn) {
+		return fmt.Errorf("%w: page %d resides on an MSB page", ErrNotAppendable, id)
+	}
+	lat, err := r.dev.arr.ProgramDelta(w, ppn, off, delta, oobOff, oobDelta)
+	if err != nil {
+		return fmt.Errorf("noftl: write_delta page %d: %w", id, err)
+	}
+	r.stats.DeltaWrites++
+	r.stats.DeltaTime += lat
+	return nil
+}
+
+// Refresh performs a Correct-and-Refresh re-program of the logical
+// page's current physical location with the (ECC-corrected) image —
+// restoring leaked charge without relocating the page (Sec. 2.3).
+func (r *Region) Refresh(w *sim.Worker, id core.PageID, data, oob []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ppn, ok := r.mapping[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	}
+	if _, err := r.dev.arr.Reprogram(w, ppn, data, oob); err != nil {
+		return fmt.Errorf("noftl: refresh page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Free unmaps a logical page, invalidating its physical copy.
+func (r *Region) Free(id core.PageID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ppn, ok := r.mapping[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	}
+	delete(r.mapping, id)
+	delete(r.reverse, ppn)
+	r.invalidateLocked(ppn)
+	return nil
+}
+
+func (r *Region) invalidateLocked(ppn flash.PPN) {
+	bm := r.blocks[r.dev.geom.BlockOf(ppn)]
+	if bm != nil && bm.valid > 0 {
+		bm.valid--
+	}
+	delete(r.reverse, ppn)
+}
+
+// allocLocked returns the next usable PPN on the given chip, running
+// garbage collection (in the foreground, as the interference the paper
+// measures) when the chip's free-block pool is at its reserve.
+func (r *Region) allocLocked(w *sim.Worker, chip int) (flash.PPN, error) {
+	maxAttempts := 2*len(r.byChip[chip]) + 4
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if act := r.active[chip]; act != nil {
+			if act.next < r.usablePagesPerBlock() {
+				ppn := r.pageSlotToPPN(act.id, act.next)
+				act.next++
+				return ppn, nil
+			}
+			act.active = false
+			r.active[chip] = nil
+		}
+		// The pool is low: reclaim first. Collection may itself install a
+		// partially-filled active block (its migration target); reuse it
+		// rather than popping another block, or the pool drains.
+		if r.freeCnt[chip] <= r.cfg.gcReserve() {
+			err := r.collectLocked(w, chip)
+			if a := r.active[chip]; a != nil && a.next < r.usablePagesPerBlock() {
+				continue
+			}
+			if err != nil && r.freeCnt[chip] == 0 {
+				return 0, err
+			}
+		}
+		nb := r.popFreeLocked(chip)
+		if nb == nil {
+			return 0, fmt.Errorf("%w: chip %d of region %q", ErrNoSpace, chip, r.cfg.Name)
+		}
+		nb.active = true
+		nb.free = false
+		nb.next = 0
+		nb.valid = 0
+		r.active[chip] = nb
+	}
+	return 0, fmt.Errorf("%w: allocation livelock on chip %d of region %q", ErrNoSpace, chip, r.cfg.Name)
+}
+
+// popFreeLocked removes and returns the free block with the lowest erase
+// count on the chip (simple wear leveling), or nil.
+func (r *Region) popFreeLocked(chip int) *blockMeta {
+	var best *blockMeta
+	for _, bm := range r.byChip[chip] {
+		if !bm.free {
+			continue
+		}
+		if best == nil || r.dev.arr.EraseCount(bm.id) < r.dev.arr.EraseCount(best.id) {
+			best = bm
+		}
+	}
+	if best != nil {
+		r.freeCnt[chip]--
+	}
+	return best
+}
+
+// collectLocked reclaims one block on the chip: the non-active block with
+// the fewest valid pages is migrated and erased. Runs with r.mu held,
+// releasing it around flash operations.
+func (r *Region) collectLocked(w *sim.Worker, chip int) error {
+	victims := make([]*blockMeta, 0, len(r.byChip[chip]))
+	for _, bm := range r.byChip[chip] {
+		if bm.free || bm.active {
+			continue
+		}
+		victims = append(victims, bm)
+	}
+	if len(victims) == 0 {
+		return fmt.Errorf("%w: no victim on chip %d", ErrNoSpace, chip)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].valid != victims[j].valid {
+			return victims[i].valid < victims[j].valid
+		}
+		return victims[i].id < victims[j].id
+	})
+	victim := victims[0]
+	if victim.valid >= r.usablePagesPerBlock() {
+		return fmt.Errorf("%w: best victim fully valid on chip %d", ErrNoSpace, chip)
+	}
+	// Migrate every still-valid page. The raw physical image (including
+	// any programmed delta-records and OOB codes) moves as-is, so the new
+	// location decodes identically.
+	g := r.dev.geom
+	for slot := 0; slot < r.usablePagesPerBlock(); slot++ {
+		ppn := r.pageSlotToPPN(victim.id, slot)
+		id, valid := r.reverse[ppn]
+		if !valid {
+			continue
+		}
+		dst, err := r.allocMigrationTargetLocked(chip, victim)
+		if err != nil {
+			return err
+		}
+		data, oob, rlat, err := r.dev.arr.Read(w, ppn)
+		if err != nil {
+			return err
+		}
+		plat, err := r.dev.arr.Program(w, dst, data, oob)
+		if err != nil {
+			return err
+		}
+		r.stats.GCTime += rlat + plat
+		r.stats.GCPageMigrations++
+		delete(r.reverse, ppn)
+		victim.valid--
+		r.mapping[id] = dst
+		r.reverse[dst] = id
+		r.blocks[g.BlockOf(dst)].valid++
+	}
+	elat, err := r.dev.arr.Erase(w, victim.id)
+	if err != nil && !errors.Is(err, flash.ErrWornOut) {
+		return err
+	}
+	r.stats.GCTime += elat
+	r.stats.GCErases++
+	victim.free = true
+	victim.valid = 0
+	victim.next = 0
+	r.freeCnt[chip]++
+	r.maybeLevelLocked(w, chip)
+	return nil
+}
+
+// maybeLevelLocked performs static wear leveling on the chip: if the
+// spread between the most- and least-worn blocks exceeds the configured
+// delta, the least-worn *occupied* block (cold data pins low-wear blocks)
+// is evacuated and erased, returning it to circulation.
+func (r *Region) maybeLevelLocked(w *sim.Worker, chip int) {
+	if r.cfg.WearDelta <= 0 {
+		return
+	}
+	arr := r.dev.arr
+	var coldest *blockMeta
+	var maxWear, minWear uint32
+	first := true
+	for _, bm := range r.byChip[chip] {
+		wear := arr.EraseCount(bm.id)
+		if first || wear > maxWear {
+			maxWear = wear
+		}
+		if first || wear < minWear {
+			minWear = wear
+		}
+		first = false
+		if bm.free || bm.active {
+			continue
+		}
+		if coldest == nil || arr.EraseCount(bm.id) < arr.EraseCount(coldest.id) {
+			coldest = bm
+		}
+	}
+	if coldest == nil || int(maxWear-minWear) <= r.cfg.WearDelta {
+		return
+	}
+	if arr.EraseCount(coldest.id) != minWear {
+		return // the least-worn block is already free or active
+	}
+	// Evacuate the cold block exactly like a GC victim, charging the
+	// traffic to the wear-leveling counters.
+	g := r.dev.geom
+	for slot := 0; slot < r.usablePagesPerBlock(); slot++ {
+		ppn := r.pageSlotToPPN(coldest.id, slot)
+		id, valid := r.reverse[ppn]
+		if !valid {
+			continue
+		}
+		dst, err := r.allocMigrationTargetLocked(chip, coldest)
+		if err != nil {
+			return // pool too tight; try again after the next collect
+		}
+		data, oob, _, err := arr.Read(w, ppn)
+		if err != nil {
+			return
+		}
+		if _, err := arr.Program(w, dst, data, oob); err != nil {
+			return
+		}
+		r.stats.WLMigrations++
+		delete(r.reverse, ppn)
+		coldest.valid--
+		r.mapping[id] = dst
+		r.reverse[dst] = id
+		r.blocks[g.BlockOf(dst)].valid++
+	}
+	if _, err := arr.Erase(w, coldest.id); err != nil && !errors.Is(err, flash.ErrWornOut) {
+		return
+	}
+	r.stats.WLErases++
+	coldest.free = true
+	coldest.valid = 0
+	coldest.next = 0
+	r.freeCnt[chip]++
+}
+
+// allocMigrationTargetLocked returns a destination PPN for a migrated
+// page, never selecting the victim block.
+func (r *Region) allocMigrationTargetLocked(chip int, victim *blockMeta) (flash.PPN, error) {
+	for {
+		act := r.active[chip]
+		if act != nil && act != victim && act.next < r.usablePagesPerBlock() {
+			ppn := r.pageSlotToPPN(act.id, act.next)
+			act.next++
+			return ppn, nil
+		}
+		if act != nil {
+			act.active = false
+			r.active[chip] = nil
+		}
+		nb := r.popFreeLocked(chip)
+		if nb == nil || nb == victim {
+			return 0, fmt.Errorf("%w: migration target on chip %d", ErrNoSpace, chip)
+		}
+		nb.active = true
+		nb.free = false
+		nb.next = 0
+		nb.valid = 0
+		r.active[chip] = nb
+	}
+}

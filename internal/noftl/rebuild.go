@@ -1,0 +1,130 @@
+package noftl
+
+import (
+	"fmt"
+
+	"ipa/internal/core"
+	"ipa/internal/flash"
+	"ipa/internal/sim"
+)
+
+// This file implements mapping reconstruction after power loss. NoFTL
+// keeps the logical→physical mapping in DBMS memory; after a crash it
+// must be rebuilt from flash itself. Because every database page carries
+// its page id and PageLSN in the page header (and delta-records carry
+// LSN updates), a full scan can re-derive the mapping: for every logical
+// page the physical copy with the highest post-reconstruction LSN is the
+// current one, older copies are garbage. This is the flash-native
+// equivalent of an FTL rebuilding its tables from OOB metadata.
+
+// PhysicalPage is one programmed page surfaced by ScanPhysical.
+type PhysicalPage struct {
+	PPN  flash.PPN
+	Data []byte
+	OOB  []byte
+}
+
+// ScanPhysical visits every programmed (non-erased) physical page of the
+// region in PPN order, calling fn until it returns false. The raw image
+// is passed as stored — delta-records not applied; interpretation is the
+// caller's job (it knows the page layout).
+func (r *Region) ScanPhysical(w *sim.Worker, fn func(p PhysicalPage) bool) error {
+	r.mu.Lock()
+	blocks := make([]int, 0, len(r.blocks))
+	for id := range r.blocks {
+		blocks = append(blocks, id)
+	}
+	r.mu.Unlock()
+	// Deterministic order.
+	for i := range blocks {
+		for j := i + 1; j < len(blocks); j++ {
+			if blocks[j] < blocks[i] {
+				blocks[i], blocks[j] = blocks[j], blocks[i]
+			}
+		}
+	}
+	arr := r.dev.arr
+	for _, b := range blocks {
+		for slot := 0; slot < r.usablePagesPerBlock(); slot++ {
+			ppn := r.pageSlotToPPN(b, slot)
+			if arr.IsErased(ppn) {
+				continue
+			}
+			data, oob, _, err := arr.Read(w, ppn)
+			if err != nil {
+				return fmt.Errorf("noftl: scan ppn %d: %w", ppn, err)
+			}
+			if !fn(PhysicalPage{PPN: ppn, Data: data, OOB: oob}) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Adopt installs a mapping reconstructed by a scan, replacing the
+// region's in-memory metadata: forward and reverse maps, per-block valid
+// counts, and write points (derived from the highest programmed page of
+// each block). Physical copies not present in the mapping are garbage
+// and will be reclaimed by the collector.
+func (r *Region) Adopt(mapping map[core.PageID]flash.PPN) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Validate every target lies in this region.
+	for id, ppn := range mapping {
+		bm := r.blocks[r.dev.geom.BlockOf(ppn)]
+		if bm == nil {
+			return fmt.Errorf("noftl: adopt page %d: ppn %d outside region %q", id, ppn, r.cfg.Name)
+		}
+	}
+	if len(mapping) > r.logical {
+		return fmt.Errorf("%w: adopting %d pages into capacity %d", ErrRegionFull, len(mapping), r.logical)
+	}
+	r.mapping = make(map[core.PageID]flash.PPN, len(mapping))
+	r.reverse = make(map[flash.PPN]core.PageID, len(mapping))
+	for id, ppn := range mapping {
+		r.mapping[id] = ppn
+		r.reverse[ppn] = id
+	}
+	// Re-derive per-block state from flash.
+	arr := r.dev.arr
+	for _, bm := range r.blocks {
+		bm.valid = 0
+		bm.active = false
+		bm.free = true
+		bm.next = 0
+		for slot := r.usablePagesPerBlock() - 1; slot >= 0; slot-- {
+			if !arr.IsErased(r.pageSlotToPPN(bm.id, slot)) {
+				bm.next = slot + 1
+				bm.free = false
+				break
+			}
+		}
+	}
+	for _, ppn := range r.mapping {
+		r.blocks[r.dev.geom.BlockOf(ppn)].valid++
+	}
+	// Rebuild free lists and clear write points (the next write pops a
+	// fresh block or reuses a partially-written one through allocLocked).
+	r.freeCnt = make(map[int]int)
+	r.active = make(map[int]*blockMeta)
+	for _, c := range r.chips {
+		r.freeCnt[c] = 0
+	}
+	for _, bm := range r.blocks {
+		if bm.free {
+			r.freeCnt[bm.chip]++
+		} else if bm.next < r.usablePagesPerBlock() {
+			// A partially filled block becomes the chip's write point so
+			// its remaining pages are not stranded.
+			if cur := r.active[bm.chip]; cur == nil || bm.next < cur.next {
+				if cur != nil {
+					cur.active = false
+				}
+				bm.active = true
+				r.active[bm.chip] = bm
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// Package sim provides the virtual time base of the flash emulator: a
+// discrete-event timeline with per-resource FIFO queueing. I/O latencies
+// and transactional throughput in the experiments are derived from this
+// simulated time, never from wall-clock time, so every run is
+// deterministic and independent of host speed.
+//
+// The model is the classic trace-driven queueing simulation: each worker
+// (database terminal, background cleaner, garbage collector) carries its
+// own current time; shared resources (flash chips, channels) remember
+// until when they are busy. An operation issued at time t on resource r
+// starts at max(t, busy[r]), occupies the resource for its duration, and
+// the issuing worker's clock advances to the completion time.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration = time.Duration
+
+// Seconds converts a simulated instant to seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Timeline tracks the busy horizon of a set of resources. It is safe for
+// concurrent use; FIFO admission per resource is serialised by a mutex.
+type Timeline struct {
+	mu   sync.Mutex
+	busy []Time
+	max  Time
+}
+
+// NewTimeline creates a timeline for n resources, all idle at time 0.
+func NewTimeline(n int) *Timeline {
+	return &Timeline{busy: make([]Time, n)}
+}
+
+// Resources returns the number of resources managed by the timeline.
+func (tl *Timeline) Resources() int { return len(tl.busy) }
+
+// Acquire schedules an operation of the given duration on resource r,
+// issued by a worker whose clock reads now. It returns the start and
+// completion instants; the resource is busy until completion.
+func (tl *Timeline) Acquire(r int, now Time, d Duration) (start, end Time) {
+	if r < 0 || r >= len(tl.busy) {
+		panic(fmt.Sprintf("sim: resource %d out of range [0,%d)", r, len(tl.busy)))
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	start = now
+	if tl.busy[r] > start {
+		start = tl.busy[r]
+	}
+	end = start + Time(d)
+	tl.busy[r] = end
+	if end > tl.max {
+		tl.max = end
+	}
+	return start, end
+}
+
+// BusyUntil reports the instant resource r becomes idle.
+func (tl *Timeline) BusyUntil(r int) Time {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.busy[r]
+}
+
+// Horizon is the latest completion instant scheduled so far — the total
+// simulated elapsed time of the run.
+func (tl *Timeline) Horizon() Time {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.max
+}
+
+// Advance moves the horizon forward without occupying a resource, used to
+// account for pure CPU time.
+func (tl *Timeline) Advance(t Time) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if t > tl.max {
+		tl.max = t
+	}
+}
+
+// Worker is one logical thread of execution in simulated time (a database
+// terminal, a cleaner, the garbage collector). Workers are not safe for
+// concurrent use; each belongs to a single goroutine or is driven
+// round-robin by the simulation loop.
+type Worker struct {
+	tl  *Timeline
+	now Time
+}
+
+// NewWorker creates a worker at simulated time 0 on the given timeline.
+func (tl *Timeline) NewWorker() *Worker { return &Worker{tl: tl} }
+
+// Now returns the worker's current simulated time.
+func (w *Worker) Now() Time { return w.now }
+
+// SetNow moves the worker's clock (used when a worker logically waits for
+// an event completed by another worker, e.g. a read served from buffer).
+func (w *Worker) SetNow(t Time) {
+	if t > w.now {
+		w.now = t
+	}
+	w.tl.Advance(w.now)
+}
+
+// Compute advances the worker's clock by pure CPU time.
+func (w *Worker) Compute(d Duration) {
+	w.now += Time(d)
+	w.tl.Advance(w.now)
+}
+
+// Use blocks the worker on resource r for duration d (queueing behind
+// earlier users) and returns the operation's total latency as observed by
+// the worker, i.e. waiting time plus service time.
+func (w *Worker) Use(r int, d Duration) Duration {
+	_, end := w.tl.Acquire(r, w.now, d)
+	lat := Duration(end - w.now)
+	w.now = end
+	return lat
+}
+
+// UseAsync schedules work on resource r without blocking the worker's
+// clock (background writes under a steal/no-force policy do not stall the
+// issuing transaction). The returned completion instant can be waited on
+// with SetNow by whoever later depends on the result.
+func (w *Worker) UseAsync(r int, d Duration) Time {
+	_, end := w.tl.Acquire(r, w.now, d)
+	return end
+}

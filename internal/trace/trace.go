@@ -1,0 +1,169 @@
+// Package trace records and replays the page-level I/O behaviour of the
+// storage engine: fetch and evict events with changed-byte counts. Traces
+// drive the IPL-vs-IPA comparison (paper Sec. 8.3 / Table 2): the same
+// recorded OLTP trace is replayed on the In-Page Logging simulator and on
+// the In-Place Appends model, exactly as the paper replayed Shore-MT
+// traces on the original IPL simulator.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"ipa/internal/core"
+)
+
+// Kind of trace event.
+type Kind uint8
+
+const (
+	// EvFetch is a logical page read from storage.
+	EvFetch Kind = iota + 1
+	// EvEvict is a dirty page leaving the buffer: Net/Gross carry the
+	// changed byte counts since the last flush; New marks the first write
+	// of a freshly allocated page.
+	EvEvict
+)
+
+// Event is one trace entry.
+type Event struct {
+	Kind  Kind
+	Page  core.PageID
+	Net   uint16 // changed body bytes
+	Gross uint16 // changed body+metadata bytes
+	New   bool
+}
+
+// Trace is an in-memory event sequence.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New creates an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Append adds an event.
+func (t *Trace) Append(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a snapshot of the recorded events.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Counts returns the number of fetches and evictions.
+func (t *Trace) Counts() (fetches, evicts int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.events {
+		switch e.Kind {
+		case EvFetch:
+			fetches++
+		case EvEvict:
+			evicts++
+		}
+	}
+	return fetches, evicts
+}
+
+// RecordFetch implements the engine's trace sink for page reads.
+func (t *Trace) RecordFetch(id core.PageID) {
+	t.Append(Event{Kind: EvFetch, Page: id})
+}
+
+// RecordEvict implements the engine's trace sink for page writes.
+func (t *Trace) RecordEvict(id core.PageID, net, gross int, isNew bool) {
+	clamp := func(v int) uint16 {
+		if v < 0 {
+			return 0
+		}
+		if v > 0xFFFF {
+			return 0xFFFF
+		}
+		return uint16(v)
+	}
+	t.Append(Event{Kind: EvEvict, Page: id, Net: clamp(net), Gross: clamp(gross), New: isNew})
+}
+
+// binary wire format: magic, count, then 14 bytes per event.
+var magic = [4]byte{'I', 'P', 'A', 'T'}
+
+// Save writes the trace in a compact binary format.
+func (t *Trace) Save(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(t.events)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [14]byte
+	for _, e := range t.events {
+		buf[0] = byte(e.Kind)
+		if e.New {
+			buf[1] = 1
+		} else {
+			buf[1] = 0
+		}
+		binary.LittleEndian.PutUint64(buf[2:], uint64(e.Page))
+		binary.LittleEndian.PutUint16(buf[10:], e.Net)
+		binary.LittleEndian.PutUint16(buf[12:], e.Gross)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a trace saved by Save.
+func Load(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	t := New()
+	t.events = make([]Event, 0, n)
+	var buf [14]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		t.events = append(t.events, Event{
+			Kind:  Kind(buf[0]),
+			New:   buf[1] == 1,
+			Page:  core.PageID(binary.LittleEndian.Uint64(buf[2:])),
+			Net:   binary.LittleEndian.Uint16(buf[10:]),
+			Gross: binary.LittleEndian.Uint16(buf[12:]),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ipa/internal/core"
+)
+
+func TestRecordAndCounts(t *testing.T) {
+	tr := New()
+	tr.RecordFetch(1)
+	tr.RecordFetch(2)
+	tr.RecordEvict(1, 4, 14, false)
+	tr.RecordEvict(3, 0, 0, true)
+	if tr.Len() != 4 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	f, e := tr.Counts()
+	if f != 2 || e != 2 {
+		t.Errorf("Counts = (%d, %d)", f, e)
+	}
+	ev := tr.Events()
+	if ev[0].Kind != EvFetch || ev[0].Page != 1 {
+		t.Errorf("event 0 = %+v", ev[0])
+	}
+	if ev[2].Net != 4 || ev[2].Gross != 14 || ev[2].New {
+		t.Errorf("event 2 = %+v", ev[2])
+	}
+	if !ev[3].New {
+		t.Errorf("event 3 = %+v", ev[3])
+	}
+}
+
+func TestClamping(t *testing.T) {
+	tr := New()
+	tr.RecordEvict(1, -5, 1<<20, false)
+	e := tr.Events()[0]
+	if e.Net != 0 || e.Gross != 0xFFFF {
+		t.Errorf("clamped event = %+v", e)
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	tr := New()
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("Len = %d", got.Len())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated body.
+	tr := New()
+	tr.RecordFetch(1)
+	var buf bytes.Buffer
+	tr.Save(&buf)
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := Load(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+// Property: Save ∘ Load is the identity for any event sequence.
+func TestPropertySaveLoadRoundTrip(t *testing.T) {
+	f := func(pages []uint32, nets []uint16, kinds []bool) bool {
+		tr := New()
+		for i, p := range pages {
+			var net uint16
+			if i < len(nets) {
+				net = nets[i]
+			}
+			isFetch := i < len(kinds) && kinds[i]
+			if isFetch {
+				tr.RecordFetch(core.PageID(p))
+			} else {
+				tr.RecordEvict(core.PageID(p), int(net), int(net)+10, net == 0)
+			}
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		a, b := tr.Events(), got.Events()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

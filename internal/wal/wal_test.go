@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ipa/internal/core"
+)
+
+func TestAppendAssignsSequentialLSNs(t *testing.T) {
+	l := NewLog(0)
+	for i := 1; i <= 5; i++ {
+		lsn := l.Append(Record{Type: RecUpdate, TxID: 1})
+		if lsn != core.LSN(i) {
+			t.Errorf("append %d: lsn = %d", i, lsn)
+		}
+	}
+	if l.Head() != 5 || l.Tail() != 1 {
+		t.Errorf("head/tail = %d/%d", l.Head(), l.Tail())
+	}
+}
+
+func TestGetAndScan(t *testing.T) {
+	l := NewLog(0)
+	l.Append(Record{Type: RecBegin, TxID: 1})
+	l.Append(Record{Type: RecUpdate, TxID: 1, Page: 9, After: []byte{1}})
+	l.Append(Record{Type: RecCommit, TxID: 1})
+	r, err := l.Get(2)
+	if err != nil || r.Type != RecUpdate || r.Page != 9 {
+		t.Fatalf("Get(2) = %+v, %v", r, err)
+	}
+	if _, err := l.Get(99); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(99): %v", err)
+	}
+	var seen []core.LSN
+	l.Scan(2, func(r Record) bool {
+		seen = append(seen, r.LSN)
+		return true
+	})
+	if len(seen) != 2 || seen[0] != 2 || seen[1] != 3 {
+		t.Errorf("scan = %v", seen)
+	}
+	// Early stop.
+	n := 0
+	l.Scan(1, func(Record) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("scan with stop visited %d", n)
+	}
+}
+
+func TestFlushHorizon(t *testing.T) {
+	l := NewLog(0)
+	l.Append(Record{Type: RecUpdate})
+	l.Append(Record{Type: RecUpdate})
+	l.Flush(1)
+	if l.Flushed() != 1 {
+		t.Errorf("Flushed = %d", l.Flushed())
+	}
+	l.Flush(100) // clamped to head
+	if l.Flushed() != 2 {
+		t.Errorf("Flushed = %d", l.Flushed())
+	}
+	l.Flush(1) // never regresses
+	if l.Flushed() != 2 {
+		t.Errorf("Flushed regressed to %d", l.Flushed())
+	}
+	if l.Flushes() != 2 {
+		t.Errorf("Flushes = %d", l.Flushes())
+	}
+}
+
+func TestSpaceAccountingAndTruncate(t *testing.T) {
+	l := NewLog(1000)
+	r := Record{Type: RecUpdate, Before: make([]byte, 10), After: make([]byte, 10)}
+	sz := uint64(r.Size())
+	for i := 0; i < 4; i++ {
+		l.Append(r)
+	}
+	if l.UsedBytes() != 4*sz {
+		t.Errorf("UsedBytes = %d, want %d", l.UsedBytes(), 4*sz)
+	}
+	wantUsage := float64(4*sz) / 1000
+	if l.Usage() != wantUsage {
+		t.Errorf("Usage = %v, want %v", l.Usage(), wantUsage)
+	}
+	l.Truncate(3) // keep LSNs ≥ 3
+	if l.UsedBytes() != 2*sz {
+		t.Errorf("after truncate UsedBytes = %d, want %d", l.UsedBytes(), 2*sz)
+	}
+	if l.Tail() != 3 {
+		t.Errorf("Tail = %d", l.Tail())
+	}
+	if _, err := l.Get(2); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Get truncated: %v", err)
+	}
+	if r3, err := l.Get(3); err != nil || r3.LSN != 3 {
+		t.Errorf("Get(3) after truncate = %+v, %v", r3, err)
+	}
+	// Truncating backwards or past head is safe.
+	l.Truncate(1)
+	if l.Tail() != 3 {
+		t.Error("backward truncate moved tail")
+	}
+	l.Truncate(100)
+	if l.UsedBytes() != 0 {
+		t.Errorf("full truncate left %d bytes", l.UsedBytes())
+	}
+}
+
+func TestUnboundedLogUsageZero(t *testing.T) {
+	l := NewLog(0)
+	l.Append(Record{Type: RecUpdate, After: make([]byte, 100)})
+	if l.Usage() != 0 {
+		t.Errorf("unbounded Usage = %v", l.Usage())
+	}
+}
+
+func TestRecordSize(t *testing.T) {
+	r := Record{Type: RecUpdate, Before: make([]byte, 3), After: make([]byte, 5)}
+	if r.Size() != 48+8 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	ck := Record{Type: RecCheckpoint,
+		ActiveTxs:  map[uint64]core.LSN{1: 1, 2: 2},
+		DirtyPages: map[core.PageID]core.LSN{3: 3},
+	}
+	if ck.Size() != 48+16*3 {
+		t.Errorf("checkpoint Size = %d", ck.Size())
+	}
+}
+
+func TestRecTypeString(t *testing.T) {
+	for rt, want := range map[RecType]string{
+		RecBegin: "BEGIN", RecUpdate: "UPDATE", RecCommit: "COMMIT",
+		RecAbort: "ABORT", RecEnd: "END", RecCLR: "CLR", RecCheckpoint: "CHECKPOINT",
+	} {
+		if rt.String() != want {
+			t.Errorf("%d.String() = %q", rt, rt.String())
+		}
+	}
+}
+
+// Property: for any interleaving of appends and truncates, Get returns
+// exactly the records with Tail ≤ LSN ≤ Head, and UsedBytes equals the
+// sum of retained record sizes.
+func TestPropertySpaceInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		l := NewLog(1 << 20)
+		var retained []Record
+		for _, op := range ops {
+			if op%4 == 0 && len(retained) > 0 {
+				cut := core.LSN(int(l.Tail()) + int(op)%len(retained))
+				l.Truncate(cut)
+				for len(retained) > 0 && retained[0].LSN < cut {
+					retained = retained[1:]
+				}
+			} else {
+				r := Record{Type: RecUpdate, After: make([]byte, int(op))}
+				lsn := l.Append(r)
+				r.LSN = lsn
+				retained = append(retained, r)
+			}
+		}
+		var want uint64
+		for _, r := range retained {
+			want += uint64(r.Size())
+			got, err := l.Get(r.LSN)
+			if err != nil || got.LSN != r.LSN || len(got.After) != len(r.After) {
+				return false
+			}
+		}
+		return l.UsedBytes() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

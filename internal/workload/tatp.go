@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ipa/internal/engine"
+	"ipa/internal/sim"
+)
+
+// TATP implements the Telecom Application Transaction Processing
+// benchmark profile: a read-dominated mix (80% reads) over a Subscriber
+// table, with tiny updates — UPDATE_SUBSCRIBER_DATA flips a bit field and
+// a hex field (2 net bytes), UPDATE_LOCATION rewrites a 4-byte location.
+// The paper replays a TATP trace in the IPL comparison (Table 2).
+type TATP struct {
+	DB     *engine.DB
+	Region string
+
+	Subscribers int
+
+	subscriber *engine.Table
+	subIdx     *engine.Index
+
+	// sid(4) bits(1) hex(1) location(4) msc(8) vlr(8) filler(64)
+	sch *engine.Schema
+}
+
+// NewTATP constructs a driver.
+func NewTATP(db *engine.DB, region string, subscribers int) *TATP {
+	sch, _ := engine.NewSchema(4, 1, 1, 4, 8, 8, 64)
+	return &TATP{DB: db, Region: region, Subscribers: subscribers, sch: sch}
+}
+
+// Name implements Workload.
+func (t *TATP) Name() string { return "TATP" }
+
+// Load creates and populates the subscriber table.
+func (t *TATP) Load(w *sim.Worker) error {
+	db := t.DB
+	var err error
+	if t.subscriber, err = db.CreateTable("tatp_subscriber", t.Region); err != nil {
+		return err
+	}
+	if t.subIdx, err = db.CreateIndex("tatp_subscriber_pk", t.Region); err != nil {
+		return err
+	}
+	tx := db.Begin(w)
+	for s := 1; s <= t.Subscribers; s++ {
+		tup := t.sch.New()
+		t.sch.SetUint(tup, 0, uint64(s))
+		t.sch.SetUint(tup, 3, uint64(s*31))
+		rid, err := t.subscriber.Insert(tx, tup)
+		if err != nil {
+			tx.Abort()
+			return fmt.Errorf("load subscriber %d: %w", s, err)
+		}
+		if err := t.subIdx.Insert(w, uint64(s), rid); err != nil {
+			tx.Abort()
+			return err
+		}
+		if s%2000 == 1999 {
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+			tx = db.Begin(w)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	return db.FlushAll(w)
+}
+
+// RunOne executes one transaction of the TATP mix: 80% reads, 16% tiny
+// updates, 4% location updates.
+func (t *TATP) RunOne(w *sim.Worker, rng *rand.Rand) (string, error) {
+	sid := uint64(rng.Intn(t.Subscribers) + 1)
+	rid, ok, err := t.subIdx.Lookup(w, sid)
+	if err != nil || !ok {
+		return "GetSubscriberData", fmt.Errorf("tatp: subscriber %d: ok=%v err=%v", sid, ok, err)
+	}
+	p := rng.Intn(100)
+	switch {
+	case p < 80:
+		_, err := t.subscriber.Read(w, rid)
+		return "GetSubscriberData", err
+	case p < 96:
+		// UPDATE_SUBSCRIBER_DATA: bit + hex field, 2 net bytes.
+		tx := t.DB.Begin(w)
+		cur, err := t.subscriber.Read(w, rid)
+		if err != nil {
+			tx.Abort()
+			return "UpdateSubscriberData", err
+		}
+		t.sch.SetUint(cur, 1, uint64(rng.Intn(2)))
+		t.sch.SetUint(cur, 2, uint64(rng.Intn(16)))
+		if err := t.subscriber.Update(tx, rid, cur); err != nil {
+			tx.Abort()
+			return "UpdateSubscriberData", err
+		}
+		return "UpdateSubscriberData", tx.Commit()
+	default:
+		// UPDATE_LOCATION: 4-byte location field.
+		tx := t.DB.Begin(w)
+		cur, err := t.subscriber.Read(w, rid)
+		if err != nil {
+			tx.Abort()
+			return "UpdateLocation", err
+		}
+		t.sch.SetUint(cur, 3, uint64(rng.Uint32()))
+		if err := t.subscriber.Update(tx, rid, cur); err != nil {
+			tx.Abort()
+			return "UpdateLocation", err
+		}
+		return "UpdateLocation", tx.Commit()
+	}
+}

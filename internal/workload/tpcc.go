@@ -1,0 +1,390 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ipa/internal/core"
+	"ipa/internal/engine"
+	"ipa/internal/sim"
+)
+
+// TPCC implements an order-entry workload with TPC-C's write profile
+// (Appendix A.0.2). The STOCK table dominates the write behaviour: each
+// NewOrder transaction updates three numeric attributes (S_QUANTITY,
+// S_YTD, S_ORDER_CNT/S_REMOTE_CNT) of ~10 random stock rows, changing
+// about 3 net bytes per touched page. Payment updates warehouse,
+// district and customer balances; 10% of Payments rewrite the customer's
+// C_DATA (a large update). Access skew follows the spec's NURand.
+type TPCC struct {
+	DB     *engine.DB
+	Region string
+
+	Warehouses        int
+	ItemsPerWarehouse int // spec: 100_000; scaled down for simulation
+	CustomersPerDist  int // spec: 3000; scaled down
+
+	warehouse, district, customer, stock *engine.Table
+	order, orderLine, history            *engine.Table
+	stockIdx, custIdx                    *engine.Index
+
+	whRIDs   []core.RID
+	distRIDs []core.RID
+
+	schWH    *engine.Schema // wid(4) ytd(8) filler(78)
+	schDist  *engine.Schema // did(4) wid(4) nextOID(4) ytd(8) filler(75)
+	schCust  *engine.Schema // cid(4) did(4) wid(4) balance(8) ytdPay(8) payCnt(4) data(268)
+	schStock *engine.Schema // iid(4) wid(4) qty(4) ytd(8) orderCnt(4) remoteCnt(4) dist(100) filler(72)
+	schOrder *engine.Schema // oid(4) did(4) wid(4) cid(4) olCnt(4) time(8)
+	schOL    *engine.Schema // oid(4) line(4) iid(4) qty(4) amount(8)
+	schHist  *engine.Schema // cid(4) wid(4) amount(8) time(8)
+}
+
+// NewTPCC constructs a driver.
+func NewTPCC(db *engine.DB, region string, warehouses, itemsPerWH, custPerDist int) *TPCC {
+	schWH, _ := engine.NewSchema(4, 8, 78)
+	schDist, _ := engine.NewSchema(4, 4, 4, 8, 75)
+	schCust, _ := engine.NewSchema(4, 4, 4, 8, 8, 4, 268)
+	schStock, _ := engine.NewSchema(4, 4, 4, 8, 4, 4, 100, 72)
+	schOrder, _ := engine.NewSchema(4, 4, 4, 4, 4, 8)
+	schOL, _ := engine.NewSchema(4, 4, 4, 4, 8)
+	schHist, _ := engine.NewSchema(4, 4, 8, 8)
+	return &TPCC{
+		DB: db, Region: region,
+		Warehouses: warehouses, ItemsPerWarehouse: itemsPerWH, CustomersPerDist: custPerDist,
+		schWH: schWH, schDist: schDist, schCust: schCust, schStock: schStock,
+		schOrder: schOrder, schOL: schOL, schHist: schHist,
+	}
+}
+
+// Name implements Workload.
+func (c *TPCC) Name() string { return "TPC-C" }
+
+func (c *TPCC) stockKey(wid, iid int) uint64 { return uint64(wid)<<32 | uint64(iid) }
+func (c *TPCC) custKey(wid, did, cid int) uint64 {
+	return uint64(wid)<<40 | uint64(did)<<32 | uint64(cid)
+}
+
+// Load creates and populates the schema.
+func (c *TPCC) Load(w *sim.Worker) error {
+	db := c.DB
+	type tbl struct {
+		dst  **engine.Table
+		name string
+	}
+	for _, tb := range []tbl{
+		{&c.warehouse, "tpcc_warehouse"}, {&c.district, "tpcc_district"},
+		{&c.customer, "tpcc_customer"}, {&c.stock, "tpcc_stock"},
+		{&c.order, "tpcc_order"}, {&c.orderLine, "tpcc_orderline"},
+		{&c.history, "tpcc_history"},
+	} {
+		t, err := db.CreateTable(tb.name, c.Region)
+		if err != nil {
+			return err
+		}
+		*tb.dst = t
+	}
+	var err error
+	if c.stockIdx, err = db.CreateIndex("tpcc_stock_pk", c.Region); err != nil {
+		return err
+	}
+	if c.custIdx, err = db.CreateIndex("tpcc_customer_pk", c.Region); err != nil {
+		return err
+	}
+
+	for wid := 1; wid <= c.Warehouses; wid++ {
+		tup := c.schWH.New()
+		c.schWH.SetUint(tup, 0, uint64(wid))
+		rid, err := insertRow(db, w, c.warehouse, tup)
+		if err != nil {
+			return err
+		}
+		c.whRIDs = append(c.whRIDs, rid)
+		for did := 1; did <= 10; did++ {
+			dt := c.schDist.New()
+			c.schDist.SetUint(dt, 0, uint64(did))
+			c.schDist.SetUint(dt, 1, uint64(wid))
+			c.schDist.SetUint(dt, 2, 1) // next order id
+			drid, err := insertRow(db, w, c.district, dt)
+			if err != nil {
+				return err
+			}
+			c.distRIDs = append(c.distRIDs, drid)
+		}
+		// Customers.
+		tx := db.Begin(w)
+		for did := 1; did <= 10; did++ {
+			for cid := 1; cid <= c.CustomersPerDist; cid++ {
+				ct := c.schCust.New()
+				c.schCust.SetUint(ct, 0, uint64(cid))
+				c.schCust.SetUint(ct, 1, uint64(did))
+				c.schCust.SetUint(ct, 2, uint64(wid))
+				c.schCust.SetUint(ct, 3, 0)
+				rid, err := c.customer.Insert(tx, ct)
+				if err != nil {
+					tx.Abort()
+					return err
+				}
+				if err := c.custIdx.Insert(w, c.custKey(wid, did, cid), rid); err != nil {
+					tx.Abort()
+					return err
+				}
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		// Stock.
+		tx = db.Begin(w)
+		for iid := 1; iid <= c.ItemsPerWarehouse; iid++ {
+			st := c.schStock.New()
+			c.schStock.SetUint(st, 0, uint64(iid))
+			c.schStock.SetUint(st, 1, uint64(wid))
+			c.schStock.SetUint(st, 2, uint64(50+iid%50)) // quantity
+			rid, err := c.stock.Insert(tx, st)
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			if err := c.stockIdx.Insert(w, c.stockKey(wid, iid), rid); err != nil {
+				tx.Abort()
+				return err
+			}
+			if iid%2000 == 1999 {
+				if err := tx.Commit(); err != nil {
+					return err
+				}
+				tx = db.Begin(w)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	return db.FlushAll(w)
+}
+
+// RunOne executes one transaction of the standard mix.
+func (c *TPCC) RunOne(w *sim.Worker, rng *rand.Rand) (string, error) {
+	p := rng.Intn(100)
+	switch {
+	case p < 45:
+		return "NewOrder", c.newOrder(w, rng)
+	case p < 88:
+		return "Payment", c.payment(w, rng)
+	case p < 92:
+		return "OrderStatus", c.orderStatus(w, rng)
+	case p < 96:
+		return "Delivery", c.delivery(w, rng)
+	default:
+		return "StockLevel", c.stockLevel(w, rng)
+	}
+}
+
+// newOrder: the backbone. Updates district.nextOID, ~10 stock rows
+// (3 numeric fields each, small deltas), inserts order + order lines.
+func (c *TPCC) newOrder(w *sim.Worker, rng *rand.Rand) error {
+	db := c.DB
+	wid := rng.Intn(c.Warehouses) + 1
+	did := rng.Intn(10) + 1
+	distRID := c.distRIDs[(wid-1)*10+did-1]
+
+	tx := db.Begin(w)
+	// District: D_NEXT_O_ID += 1.
+	dt, err := c.district.Read(w, distRID)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	oid := c.schDist.GetUint(dt, 2)
+	c.schDist.AddUint(dt, 2, 1)
+	if err := c.district.Update(tx, distRID, dt); err != nil {
+		tx.Abort()
+		return err
+	}
+	// Order row.
+	olCnt := 5 + rng.Intn(11) // 5..15, avg 10
+	ot := c.schOrder.New()
+	c.schOrder.SetUint(ot, 0, oid)
+	c.schOrder.SetUint(ot, 1, uint64(did))
+	c.schOrder.SetUint(ot, 2, uint64(wid))
+	c.schOrder.SetUint(ot, 4, uint64(olCnt))
+	c.schOrder.SetUint(ot, 5, simNow(w))
+	if _, err := c.order.Insert(tx, ot); err != nil {
+		tx.Abort()
+		return err
+	}
+	for line := 1; line <= olCnt; line++ {
+		iid := NURand(rng, 8191, 1, c.ItemsPerWarehouse)
+		// 1% remote warehouse accesses.
+		swid := wid
+		remote := false
+		if c.Warehouses > 1 && rng.Intn(100) == 0 {
+			swid = rng.Intn(c.Warehouses) + 1
+			remote = swid != wid
+		}
+		srid, ok, err := c.stockIdx.Lookup(w, c.stockKey(swid, iid))
+		if err != nil || !ok {
+			tx.Abort()
+			return fmt.Errorf("tpcc: stock (%d,%d): ok=%v err=%v", swid, iid, ok, err)
+		}
+		st, err := c.stock.Read(w, srid)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		qty := uint64(rng.Intn(10) + 1)
+		// The three numeric updates the paper calls out; deltas < 10 so
+		// usually only the least-significant byte of each field changes.
+		cur := c.schStock.GetUint(st, 2)
+		if cur >= qty+10 {
+			c.schStock.SetUint(st, 2, cur-qty)
+		} else {
+			c.schStock.SetUint(st, 2, cur-qty+91)
+		}
+		c.schStock.AddUint(st, 3, qty) // S_YTD
+		if remote {
+			c.schStock.AddUint(st, 5, 1) // S_REMOTE_CNT
+		} else {
+			c.schStock.AddUint(st, 4, 1) // S_ORDER_CNT
+		}
+		if err := c.stock.Update(tx, srid, st); err != nil {
+			tx.Abort()
+			return err
+		}
+		ol := c.schOL.New()
+		c.schOL.SetUint(ol, 0, oid)
+		c.schOL.SetUint(ol, 1, uint64(line))
+		c.schOL.SetUint(ol, 2, uint64(iid))
+		c.schOL.SetUint(ol, 3, qty)
+		c.schOL.SetUint(ol, 4, qty*uint64(rng.Intn(9999)+1))
+		if _, err := c.orderLine.Insert(tx, ol); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// payment: warehouse.YTD, district.YTD, customer balance; 10% of
+// customers also get C_DATA rewritten (large update).
+func (c *TPCC) payment(w *sim.Worker, rng *rand.Rand) error {
+	db := c.DB
+	wid := rng.Intn(c.Warehouses) + 1
+	did := rng.Intn(10) + 1
+	cid := NURand(rng, 1023, 1, c.CustomersPerDist)
+	amount := uint64(rng.Intn(500000) + 100)
+
+	tx := db.Begin(w)
+	wt, err := c.warehouse.Read(w, c.whRIDs[wid-1])
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	c.schWH.AddUint(wt, 1, amount)
+	if err := c.warehouse.Update(tx, c.whRIDs[wid-1], wt); err != nil {
+		tx.Abort()
+		return err
+	}
+	distRID := c.distRIDs[(wid-1)*10+did-1]
+	dt, err := c.district.Read(w, distRID)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	c.schDist.AddUint(dt, 3, amount)
+	if err := c.district.Update(tx, distRID, dt); err != nil {
+		tx.Abort()
+		return err
+	}
+	crid, ok, err := c.custIdx.Lookup(w, c.custKey(wid, did, cid))
+	if err != nil || !ok {
+		tx.Abort()
+		return fmt.Errorf("tpcc: customer (%d,%d,%d): ok=%v err=%v", wid, did, cid, ok, err)
+	}
+	ct, err := c.customer.Read(w, crid)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	c.schCust.AddUint(ct, 3, amount) // balance
+	c.schCust.AddUint(ct, 4, amount) // ytd payment
+	c.schCust.AddUint(ct, 5, 1)      // payment count
+	if rng.Intn(10) == 0 {
+		// Bad credit: rewrite C_DATA.
+		data := make([]byte, 268)
+		rng.Read(data)
+		c.schCust.SetBytes(ct, 6, data)
+	}
+	if err := c.customer.Update(tx, crid, ct); err != nil {
+		tx.Abort()
+		return err
+	}
+	h := c.schHist.New()
+	c.schHist.SetUint(h, 0, uint64(cid))
+	c.schHist.SetUint(h, 1, uint64(wid))
+	c.schHist.SetUint(h, 2, amount)
+	c.schHist.SetUint(h, 3, simNow(w))
+	if _, err := c.history.Insert(tx, h); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// orderStatus: read-only customer + last order probe.
+func (c *TPCC) orderStatus(w *sim.Worker, rng *rand.Rand) error {
+	wid := rng.Intn(c.Warehouses) + 1
+	did := rng.Intn(10) + 1
+	cid := NURand(rng, 1023, 1, c.CustomersPerDist)
+	crid, ok, err := c.custIdx.Lookup(w, c.custKey(wid, did, cid))
+	if err != nil || !ok {
+		return fmt.Errorf("tpcc: customer missing: %v", err)
+	}
+	if _, err := c.customer.Read(w, crid); err != nil {
+		return err
+	}
+	return nil
+}
+
+// delivery: update a handful of customer balances (batched carrier run).
+func (c *TPCC) delivery(w *sim.Worker, rng *rand.Rand) error {
+	db := c.DB
+	wid := rng.Intn(c.Warehouses) + 1
+	tx := db.Begin(w)
+	for did := 1; did <= 10; did++ {
+		cid := rng.Intn(c.CustomersPerDist) + 1
+		crid, ok, err := c.custIdx.Lookup(w, c.custKey(wid, did, cid))
+		if err != nil || !ok {
+			tx.Abort()
+			return fmt.Errorf("tpcc: delivery customer: %v", err)
+		}
+		ct, err := c.customer.Read(w, crid)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		c.schCust.AddUint(ct, 3, uint64(rng.Intn(5000)+1))
+		if err := c.customer.Update(tx, crid, ct); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+// stockLevel: read-only scan of recent stock rows.
+func (c *TPCC) stockLevel(w *sim.Worker, rng *rand.Rand) error {
+	wid := rng.Intn(c.Warehouses) + 1
+	for i := 0; i < 20; i++ {
+		iid := rng.Intn(c.ItemsPerWarehouse) + 1
+		srid, ok, err := c.stockIdx.Lookup(w, c.stockKey(wid, iid))
+		if err != nil || !ok {
+			return fmt.Errorf("tpcc: stock-level probe: %v", err)
+		}
+		if _, err := c.stock.Read(w, srid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
