@@ -1,0 +1,27 @@
+# Tier-1 verification gate: everything here must pass before a change
+# lands. `make check` is what CI (and ROADMAP.md) means by tier-1.
+GO ?= go
+
+.PHONY: check vet build test race bench fmt
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine is fine-grained concurrent; the race detector is part of
+# the gate, not an optional extra.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run xxx ./...
+
+fmt:
+	gofmt -l -w .

@@ -107,8 +107,9 @@ func run(scheme core.Scheme) outcome {
 	if err := db.FlushAll(w); err != nil {
 		log.Fatal(err)
 	}
-	rs := db.Store("bank").Region().Stats()
-	stats := db.Store("bank").Stats()
+	es := db.Stats()
+	rs := es.Regions["bank"]
+	stats := es.Stores["bank"]
 	gross := float64(rs.OutOfPlaceWrites)*4096 + float64(rs.DeltaWrites)*float64(scheme.RecordSize())
 	net := stats.NetBytes.Mean() * float64(stats.NetBytes.Count())
 	wa := 0.0

@@ -91,10 +91,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 6. Show what happened at each layer.
-	st := db.Store("hot")
-	rs := st.Region().Stats()
-	fs := arr.Stats()
+	// 6. Show what happened at each layer — one engine.Stats snapshot
+	//    covers the region, the store and the raw flash array.
+	es := db.Stats()
+	rs := es.Regions["hot"]
+	fs := es.Flash
 	fmt.Printf("\nafter one insert + one small update:\n")
 	fmt.Printf("  out-of-place page writes : %d\n", rs.OutOfPlaceWrites)
 	fmt.Printf("  in-place appends         : %d (write_delta)\n", rs.DeltaWrites)

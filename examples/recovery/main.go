@@ -83,7 +83,7 @@ func main() {
 	tbl.Update(loser, ridB, cur)
 	db.FlushAll(w)
 
-	rs := db.Store("data").Region().Stats()
+	rs := db.Stats().Regions["data"]
 	fmt.Printf("before crash: %d out-of-place writes, %d in-place appends on flash\n",
 		rs.OutOfPlaceWrites, rs.DeltaWrites)
 	fmt.Println("committed: A += 11 (as delta-record); uncommitted: B = 999 (stolen, as delta-record)")

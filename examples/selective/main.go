@@ -130,9 +130,10 @@ func main() {
 
 	fmt.Printf("\n%-8s %-8s %-8s %10s %10s %10s %8s\n",
 		"region", "mode", "scheme", "oop", "appends", "gc-erases", "ipa%")
+	es := db.Stats()
 	for _, name := range []string{"rgHot", "rgWarm", "rgCold"} {
 		st := db.Store(name)
-		rs := st.Region().Stats()
+		rs := es.Regions[name]
 		fmt.Printf("%-8s %-8s %-8s %10d %10d %10d %7.0f%%\n",
 			name, st.Region().Mode(), st.Region().Scheme(),
 			rs.OutOfPlaceWrites, rs.DeltaWrites, rs.GCErases, 100*rs.IPAFraction())

@@ -66,14 +66,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	gross := st.Stats().GrossBytes
+	es := db.Stats()
+	gross := es.Stores["graph"].GrossBytes
 	fmt.Printf("\nupdate-size CDF (gross bytes changed per 8KB page, %d update I/Os):\n", gross.Count())
 	for _, th := range []int{10, 25, 50, 100, 125, 200, 400} {
 		f := gross.FractionLE(th)
 		bar := strings.Repeat("#", int(f*40))
 		fmt.Printf("  ≤ %4dB  %5.1f%%  %s\n", th, 100*f, bar)
 	}
-	rs := st.Region().Stats()
+	rs := es.Regions["graph"]
 	fmt.Printf("\nscheme %v on 8KB pages (%.1f%% space overhead):\n", scheme, 100*scheme.SpaceOverhead(8192))
 	fmt.Printf("  writes served as in-place appends : %.0f%%\n", 100*rs.IPAFraction())
 	fmt.Printf("  out-of-place page writes           : %d\n", rs.OutOfPlaceWrites)

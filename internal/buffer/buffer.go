@@ -8,6 +8,15 @@
 // next to the current logical image, the logical image as of the last
 // flush. On eviction the storage manager diffs the two to decide between
 // an In-Place Append (write_delta) and an out-of-place page write.
+//
+// Concurrency model. The pool mutex (p.mu) guards only the frame table
+// and frame *state* (pin counts, dirty flags, CLOCK metadata); page
+// *contents* (Data, Flushed, UsedSlots, New) are guarded by a per-frame
+// reader/writer latch. All store I/O — fetches on a miss, flushes on
+// eviction, cleaning — runs outside p.mu, so fetch/flush on different
+// pages (and different regions) proceed in parallel. The latch order is
+// strict: a frame latch is never acquired while p.mu is held, and p.mu
+// may be acquired while a latch is held, never the reverse direction.
 package buffer
 
 import (
@@ -55,9 +64,33 @@ type Frame struct {
 	Dirty  bool
 	RecLSN core.LSN // LSN that first dirtied the frame (for checkpoints)
 
+	// latch guards the page contents (Data, Flushed, UsedSlots, New)
+	// against concurrent access: engine readers hold it shared, engine
+	// mutators and the flush paths hold it exclusively. Pin the frame
+	// before latching; never latch while holding the pool mutex.
+	latch sync.RWMutex
+
 	pin int
 	ref bool
+
+	// Miss-fetch protocol: the loader sets loading and fetches outside
+	// p.mu; concurrent getters pin the frame and wait on loadDone.
+	loading  bool
+	loadDone chan struct{}
+	loadErr  error
 }
+
+// Latch acquires the frame's content latch exclusively (for mutation).
+func (fr *Frame) Latch() { fr.latch.Lock() }
+
+// Unlatch releases an exclusive latch.
+func (fr *Frame) Unlatch() { fr.latch.Unlock() }
+
+// RLatch acquires the frame's content latch shared (for reading).
+func (fr *Frame) RLatch() { fr.latch.RLock() }
+
+// RUnlatch releases a shared latch.
+func (fr *Frame) RUnlatch() { fr.latch.RUnlock() }
 
 // Config sizes the pool and its cleaning strategy.
 type Config struct {
@@ -116,6 +149,10 @@ type Pool struct {
 	hand   int
 	dirty  int
 	stats  Stats
+
+	// cleanGate admits one cleaner pass at a time; triggers arriving
+	// while a pass runs are dropped (the running pass covers them).
+	cleanGate sync.Mutex
 }
 
 // New creates a pool with cfg.Frames empty frames.
@@ -155,44 +192,75 @@ func (p *Pool) DirtyFraction() float64 {
 	return float64(p.dirty) / float64(len(p.frames))
 }
 
-// Get pins the page, fetching it from the store on a miss.
+// Get pins the page, fetching it from the store on a miss. The fetch
+// happens outside the pool mutex; concurrent getters of the same page
+// wait for the in-flight fetch instead of issuing their own.
 func (p *Pool) Get(w *sim.Worker, id core.PageID) (*Frame, error) {
-	p.mu.Lock()
-	if fr, ok := p.table[id]; ok {
-		fr.pin++
+	for {
+		p.mu.Lock()
+		if fr, ok := p.table[id]; ok {
+			fr.pin++
+			fr.ref = true
+			p.stats.Hits++
+			loading, done := fr.loading, fr.loadDone
+			p.mu.Unlock()
+			if loading {
+				<-done
+				p.mu.Lock()
+				if err := fr.loadErr; err != nil {
+					fr.pin--
+					p.mu.Unlock()
+					return nil, err
+				}
+				p.mu.Unlock()
+			}
+			return fr, nil
+		}
+		p.stats.Misses++
+		fr, err := p.victimLocked(w)
+		if err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		if _, raced := p.table[id]; raced {
+			// Someone loaded the page while we were evicting: leave the
+			// reclaimed frame free and retry as a hit.
+			p.stats.Misses--
+			p.mu.Unlock()
+			continue
+		}
+		fr.ID = id
+		fr.pin = 1
 		fr.ref = true
-		p.stats.Hits++
+		fr.New = false
+		fr.Flushed = nil
+		fr.UsedSlots = 0
+		fr.RecLSN = 0
+		fr.loading = true
+		fr.loadDone = make(chan struct{})
+		fr.loadErr = nil
+		p.table[id] = fr
+		p.mu.Unlock()
+
+		used, err := p.store.Fetch(w, id, fr.Data)
+
+		p.mu.Lock()
+		fr.loading = false
+		if err != nil {
+			fr.loadErr = err
+			delete(p.table, id)
+			fr.pin-- // our pin; waiters drop theirs when they see loadErr
+			fr.ID = core.InvalidPageID
+			close(fr.loadDone)
+			p.mu.Unlock()
+			return nil, err
+		}
+		fr.UsedSlots = used
+		fr.Flushed = append(fr.Flushed[:0], fr.Data...)
+		close(fr.loadDone)
 		p.mu.Unlock()
 		return fr, nil
 	}
-	p.stats.Misses++
-	fr, err := p.victimLocked(w)
-	if err != nil {
-		p.mu.Unlock()
-		return nil, err
-	}
-	fr.ID = id
-	fr.pin = 1
-	fr.ref = true
-	fr.New = false
-	fr.Flushed = nil
-	fr.UsedSlots = 0
-	fr.RecLSN = 0
-	p.table[id] = fr
-	// Fetch with the pool lock held: simulated time does not require
-	// goroutine overlap, and it keeps frame state transitions atomic.
-	used, err := p.store.Fetch(w, id, fr.Data)
-	if err != nil {
-		delete(p.table, id)
-		fr.pin = 0
-		fr.ID = core.InvalidPageID
-		p.mu.Unlock()
-		return nil, err
-	}
-	fr.UsedSlots = used
-	fr.Flushed = append(fr.Flushed[:0], fr.Data...)
-	p.mu.Unlock()
-	return fr, nil
 }
 
 // GetNew pins a frame for a freshly allocated page that has no physical
@@ -250,69 +318,120 @@ func (p *Pool) Unpin(w *sim.Worker, fr *Frame, dirty bool, recLSN core.LSN) erro
 	return nil
 }
 
+// claimLocked marks a dirty, unpinned frame clean and flush-pins it so
+// the caller can flush it outside p.mu. A writer that re-dirties the
+// frame during the flush simply marks it dirty again — nothing is lost,
+// the frame is flushed once more later.
+func (p *Pool) claimLocked(fr *Frame) {
+	fr.Dirty = false
+	fr.RecLSN = 0
+	p.dirty--
+	fr.pin++
+}
+
+// flushClaimed flushes a frame claimed by claimLocked, without p.mu held,
+// taking the content latch for the duration of the store I/O. On error
+// the dirty state is restored.
+func (p *Pool) flushClaimed(w *sim.Worker, fr *Frame, recLSN core.LSN) error {
+	fr.latch.Lock()
+	err := p.store.Flush(w, fr)
+	fr.latch.Unlock()
+	p.mu.Lock()
+	fr.pin--
+	if err != nil && !fr.Dirty {
+		fr.Dirty = true
+		fr.RecLSN = recLSN
+		p.dirty++
+	}
+	p.mu.Unlock()
+	return err
+}
+
 // CleanerPass flushes up to one batch of dirty unpinned frames, charged
-// to the configured cleaner worker (or w if none).
+// to the configured cleaner worker (or w if none). Only one pass runs at
+// a time; triggers arriving during a pass return immediately.
 func (p *Pool) CleanerPass(w *sim.Worker) error {
+	if !p.cleanGate.TryLock() {
+		return nil
+	}
+	defer p.cleanGate.Unlock()
 	cw := p.cfg.Cleaner
 	if cw == nil {
 		cw = w
 	} else if w != nil {
 		cw.SetNow(w.Now()) // the cleaner acts concurrently with the trigger
 	}
+	type claimed struct {
+		fr     *Frame
+		recLSN core.LSN
+	}
+	var batch []claimed
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	budget := p.cfg.cleanBatch()
 	for i := 0; i < len(p.frames) && budget > 0; i++ {
 		fr := p.frames[(p.hand+i)%len(p.frames)]
-		if !fr.Dirty || fr.pin > 0 {
+		if !fr.Dirty || fr.pin > 0 || fr.loading {
 			continue
 		}
-		if err := p.flushLocked(cw, fr); err != nil {
-			return err
-		}
-		p.stats.CleanerFlushes++
+		batch = append(batch, claimed{fr, fr.RecLSN})
+		p.claimLocked(fr)
 		budget--
 	}
-	return nil
-}
-
-// flushLocked persists a dirty frame and marks it clean.
-func (p *Pool) flushLocked(w *sim.Worker, fr *Frame) error {
-	if err := p.store.Flush(w, fr); err != nil {
-		return err
+	p.mu.Unlock()
+	for _, c := range batch {
+		if err := p.flushClaimed(cw, c.fr, c.recLSN); err != nil {
+			return err
+		}
+		p.mu.Lock()
+		p.stats.CleanerFlushes++
+		p.mu.Unlock()
 	}
-	fr.Dirty = false
-	fr.RecLSN = 0
-	p.dirty--
 	return nil
 }
 
-// victimLocked returns an unpinned frame, evicting (and flushing) as
-// needed, using the CLOCK policy.
+// victimLocked returns a free, unpinned frame not present in the page
+// table, evicting (and flushing) as needed using the CLOCK policy. It is
+// called with p.mu held and returns with p.mu held, but may release the
+// mutex while flushing a dirty victim.
 func (p *Pool) victimLocked(w *sim.Worker) (*Frame, error) {
 	n := len(p.frames)
-	for round := 0; round < 2*n+1; round++ {
+	for round := 0; round < 4*n+2; round++ {
 		fr := p.frames[p.hand]
 		p.hand = (p.hand + 1) % n
-		if fr.pin > 0 {
+		if fr.pin > 0 || fr.loading {
 			continue
 		}
 		if fr.ref {
 			fr.ref = false
 			continue
 		}
-		if fr.ID != core.InvalidPageID {
-			if fr.Dirty {
-				if err := p.flushLocked(w, fr); err != nil {
-					return nil, err
-				}
-				p.stats.EvictionFlush++
-			}
+		if fr.ID == core.InvalidPageID {
+			return fr, nil
+		}
+		if !fr.Dirty {
 			delete(p.table, fr.ID)
 			p.stats.Evictions++
 			fr.ID = core.InvalidPageID
+			return fr, nil
 		}
-		return fr, nil
+		// Dirty victim: flush it outside the pool mutex, then re-check —
+		// another goroutine may have pinned it meanwhile, in which case
+		// the CLOCK hand keeps searching.
+		recLSN := fr.RecLSN
+		p.claimLocked(fr)
+		p.mu.Unlock()
+		err := p.flushClaimed(w, fr, recLSN)
+		p.mu.Lock()
+		if err != nil {
+			return nil, err
+		}
+		p.stats.EvictionFlush++
+		if fr.pin == 0 && !fr.Dirty && !fr.loading {
+			delete(p.table, fr.ID)
+			p.stats.Evictions++
+			fr.ID = core.InvalidPageID
+			return fr, nil
+		}
 	}
 	return nil, ErrNoFrames
 }
@@ -320,32 +439,42 @@ func (p *Pool) victimLocked(w *sim.Worker) (*Frame, error) {
 // FlushAll writes every dirty frame (checkpoint support). Pinned dirty
 // frames are an error.
 func (p *Pool) FlushAll(w *sim.Worker) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, fr := range p.frames {
-		if !fr.Dirty {
-			continue
+	for {
+		var fr *Frame
+		var recLSN core.LSN
+		p.mu.Lock()
+		for _, f := range p.frames {
+			if !f.Dirty {
+				continue
+			}
+			if f.pin > 0 {
+				p.mu.Unlock()
+				return fmt.Errorf("%w: page %d", ErrPinned, f.ID)
+			}
+			fr, recLSN = f, f.RecLSN
+			break
 		}
-		if fr.pin > 0 {
-			return fmt.Errorf("%w: page %d", ErrPinned, fr.ID)
+		if fr == nil {
+			p.mu.Unlock()
+			return nil
 		}
-		if err := p.flushLocked(w, fr); err != nil {
+		p.claimLocked(fr)
+		p.mu.Unlock()
+		if err := p.flushClaimed(w, fr, recLSN); err != nil {
 			return err
 		}
 	}
-	return nil
 }
 
 // FlushOldest flushes up to n dirty unpinned frames with the smallest
 // RecLSN — the pages holding back log truncation.
 func (p *Pool) FlushOldest(w *sim.Worker, n int) (int, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	flushed := 0
 	for flushed < n {
 		var best *Frame
+		p.mu.Lock()
 		for _, fr := range p.frames {
-			if !fr.Dirty || fr.pin > 0 {
+			if !fr.Dirty || fr.pin > 0 || fr.loading {
 				continue
 			}
 			if best == nil || fr.RecLSN < best.RecLSN {
@@ -353,9 +482,13 @@ func (p *Pool) FlushOldest(w *sim.Worker, n int) (int, error) {
 			}
 		}
 		if best == nil {
+			p.mu.Unlock()
 			break
 		}
-		if err := p.flushLocked(w, best); err != nil {
+		recLSN := best.RecLSN
+		p.claimLocked(best)
+		p.mu.Unlock()
+		if err := p.flushClaimed(w, best, recLSN); err != nil {
 			return flushed, err
 		}
 		flushed++

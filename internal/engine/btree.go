@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"ipa/internal/buffer"
 	"ipa/internal/core"
@@ -19,11 +20,21 @@ import (
 // The index is a non-logged structure: it is rebuilt from its table
 // after restart recovery (a common recovery strategy for secondary
 // structures), which keeps the WAL focused on tuple data.
+//
+// Concurrency: each index carries its own reader/writer tree latch —
+// lookups and range scans run shared (in parallel with each other and
+// with all heap operations), mutations run exclusive. No latch crabbing:
+// the per-index latch is coarse but never blocks operations on other
+// indexes, tables, or regions. Tree pages are pinned during node access,
+// which keeps the flush paths (that latch only unpinned frames) off
+// them.
 type Index struct {
 	db   *DB
 	st   *PageStore
 	name string
-	root core.PageID
+
+	treeMu sync.RWMutex
+	root   core.PageID
 }
 
 // Node layout, written directly into the page body:
@@ -46,14 +57,14 @@ var ErrKeyExists = errors.New("engine: key already in index")
 
 // CreateIndex creates an empty B+tree placed in the named region.
 func (db *DB) CreateIndex(name, regionName string) (*Index, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	st, err := db.attachRegionLocked(regionName)
+	st, err := db.AttachRegion(regionName)
 	if err != nil {
 		return nil, err
 	}
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
 	ix := &Index{db: db, st: st, name: name}
-	fr, pg, err := db.newPageLocked(nil, st, 0, page.FlagIndex|page.FlagLeaf)
+	fr, pg, err := db.newPage(nil, st, 0, page.FlagIndex|page.FlagLeaf)
 	if err != nil {
 		return nil, err
 	}
@@ -69,8 +80,8 @@ func (ix *Index) Name() string { return ix.name }
 
 // Root returns the current root page id.
 func (ix *Index) Root() core.PageID {
-	ix.db.mu.Lock()
-	defer ix.db.mu.Unlock()
+	ix.treeMu.RLock()
+	defer ix.treeMu.RUnlock()
 	return ix.root
 }
 
@@ -192,8 +203,10 @@ func (n *node) route(key uint64) core.PageID {
 // Lookup returns the RID stored under key.
 func (ix *Index) Lookup(w *sim.Worker, key uint64) (core.RID, bool, error) {
 	db := ix.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	ix.treeMu.RLock()
+	defer ix.treeMu.RUnlock()
 	cur := ix.root
 	for {
 		fr, err := db.pool.Get(w, cur)
@@ -223,8 +236,10 @@ func (ix *Index) Lookup(w *sim.Worker, key uint64) (core.RID, bool, error) {
 // Insert adds key → rid. Duplicate keys are rejected.
 func (ix *Index) Insert(w *sim.Worker, key uint64, rid core.RID) error {
 	db := ix.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	ix.treeMu.Lock()
+	defer ix.treeMu.Unlock()
 	sepKey, newChild, err := ix.insertRec(w, ix.root, key, rid)
 	if err != nil {
 		return err
@@ -233,7 +248,7 @@ func (ix *Index) Insert(w *sim.Worker, key uint64, rid core.RID) error {
 		return nil
 	}
 	// Root split: grow the tree by one level.
-	fr, pg, err := db.newPageLocked(w, ix.st, 0, page.FlagIndex)
+	fr, pg, err := db.newPage(w, ix.st, 0, page.FlagIndex)
 	if err != nil {
 		return err
 	}
@@ -273,7 +288,7 @@ func (ix *Index) insertRec(w *sim.Worker, nodeID core.PageID, key uint64, rid co
 			return 0, core.InvalidPageID, db.pool.Unpin(w, fr, true, db.log.Head())
 		}
 		// Split the leaf.
-		rfr, rpg, err := db.newPageLocked(w, ix.st, 0, page.FlagIndex|page.FlagLeaf)
+		rfr, rpg, err := db.newPage(w, ix.st, 0, page.FlagIndex|page.FlagLeaf)
 		if err != nil {
 			db.pool.Unpin(w, fr, false, 0)
 			return 0, core.InvalidPageID, err
@@ -313,7 +328,7 @@ func (ix *Index) insertRec(w *sim.Worker, nodeID core.PageID, key uint64, rid co
 
 	child := n.route(key)
 	// Release the parent pin during descent (no latch coupling needed:
-	// everything runs under the engine mutex).
+	// mutations hold the tree latch exclusively).
 	db.pool.Unpin(w, fr, false, 0)
 	sepKey, newChild, err := ix.insertRec(w, child, key, rid)
 	if err != nil || newChild == core.InvalidPageID {
@@ -334,7 +349,7 @@ func (ix *Index) insertRec(w *sim.Worker, nodeID core.PageID, key uint64, rid co
 		return 0, core.InvalidPageID, db.pool.Unpin(w, fr, true, db.log.Head())
 	}
 	// Split the internal node.
-	rfr, rpg, err := db.newPageLocked(w, ix.st, 0, page.FlagIndex)
+	rfr, rpg, err := db.newPage(w, ix.st, 0, page.FlagIndex)
 	if err != nil {
 		db.pool.Unpin(w, fr, false, 0)
 		return 0, core.InvalidPageID, err
@@ -394,8 +409,10 @@ func insertIntAt(n *node, key uint64, child core.PageID) {
 // tuple relocation).
 func (ix *Index) Update(w *sim.Worker, key uint64, rid core.RID) error {
 	db := ix.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	ix.treeMu.Lock()
+	defer ix.treeMu.Unlock()
 	cur := ix.root
 	for {
 		fr, err := db.pool.Get(w, cur)
@@ -426,8 +443,10 @@ func (ix *Index) Update(w *sim.Worker, key uint64, rid core.RID) error {
 // adequate for the OLTP workloads where deletes are rare).
 func (ix *Index) Delete(w *sim.Worker, key uint64) (bool, error) {
 	db := ix.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	ix.treeMu.Lock()
+	defer ix.treeMu.Unlock()
 	cur := ix.root
 	for {
 		fr, err := db.pool.Get(w, cur)
@@ -458,23 +477,26 @@ func (ix *Index) Delete(w *sim.Worker, key uint64) (bool, error) {
 }
 
 // Range visits keys in [lo, hi] in order until fn returns false. The
-// engine latch is released while fn runs, so the callback may perform
+// tree latch is released while fn runs, so the callback may perform
 // table reads; keys inserted concurrently may or may not be seen.
 func (ix *Index) Range(w *sim.Worker, lo, hi uint64, fn func(key uint64, rid core.RID) bool) error {
 	db := ix.db
 	// Descend to the leaf containing lo.
-	db.mu.Lock()
+	db.stateMu.RLock()
+	ix.treeMu.RLock()
 	cur := ix.root
 	for {
 		fr, err := db.pool.Get(w, cur)
 		if err != nil {
-			db.mu.Unlock()
+			ix.treeMu.RUnlock()
+			db.stateMu.RUnlock()
 			return err
 		}
 		n, err := ix.node(fr)
 		if err != nil {
 			db.pool.Unpin(w, fr, false, 0)
-			db.mu.Unlock()
+			ix.treeMu.RUnlock()
+			db.stateMu.RUnlock()
 			return err
 		}
 		if n.leaf {
@@ -485,20 +507,24 @@ func (ix *Index) Range(w *sim.Worker, lo, hi uint64, fn func(key uint64, rid cor
 		db.pool.Unpin(w, fr, false, 0)
 		cur = next
 	}
-	db.mu.Unlock()
+	ix.treeMu.RUnlock()
+	db.stateMu.RUnlock()
 	// Walk the leaf chain, buffering each leaf's entries and invoking the
 	// callback outside the latch.
 	for cur != core.InvalidPageID {
-		db.mu.Lock()
+		db.stateMu.RLock()
+		ix.treeMu.RLock()
 		fr, err := db.pool.Get(w, cur)
 		if err != nil {
-			db.mu.Unlock()
+			ix.treeMu.RUnlock()
+			db.stateMu.RUnlock()
 			return err
 		}
 		n, err := ix.node(fr)
 		if err != nil {
 			db.pool.Unpin(w, fr, false, 0)
-			db.mu.Unlock()
+			ix.treeMu.RUnlock()
+			db.stateMu.RUnlock()
 			return err
 		}
 		type kv struct {
@@ -518,7 +544,8 @@ func (ix *Index) Range(w *sim.Worker, lo, hi uint64, fn func(key uint64, rid cor
 		}
 		next := n.pg.NextPage()
 		db.pool.Unpin(w, fr, false, 0)
-		db.mu.Unlock()
+		ix.treeMu.RUnlock()
+		db.stateMu.RUnlock()
 		for _, it := range items {
 			if !fn(it.k, it.r) {
 				return nil

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ipa/internal/buffer"
 	"ipa/internal/core"
@@ -10,6 +12,14 @@ import (
 	"ipa/internal/page"
 	"ipa/internal/sim"
 	"ipa/internal/wal"
+)
+
+// Engine configuration errors.
+var (
+	// ErrNoRegion is returned when a named NoFTL region does not exist.
+	ErrNoRegion = errors.New("engine: no such region")
+	// ErrBadOptions is returned by Options.Validate for nonsense configs.
+	ErrBadOptions = errors.New("engine: invalid options")
 )
 
 // Options configures a database instance.
@@ -27,7 +37,7 @@ type Options struct {
 	LogReclaimThreshold float64
 	// DirtyThreshold / CleanBatch tune the buffer cleaner (see buffer
 	// package); DirtyThreshold 0 = eager 12.5%, 0.75 = the paper's
-	// non-eager configuration.
+	// non-eager configuration. Values above 1 disable cleaning.
 	DirtyThreshold float64
 	CleanBatch     int
 	// UseECC enables sectioned ECC in the OOB area.
@@ -50,41 +60,93 @@ func (o Options) reclaimThreshold() float64 {
 	return o.LogReclaimThreshold
 }
 
+// Validate rejects nonsense configurations instead of silently
+// defaulting. flashPageSize is the device page size the database pages
+// must match (0 skips that check, for validation before a device is
+// chosen). All errors wrap ErrBadOptions.
+func (o Options) Validate(flashPageSize int) error {
+	if o.BufferFrames < 1 {
+		return fmt.Errorf("%w: BufferFrames %d (need ≥ 1)", ErrBadOptions, o.BufferFrames)
+	}
+	if o.PageSize < 0 {
+		return fmt.Errorf("%w: PageSize %d", ErrBadOptions, o.PageSize)
+	}
+	if flashPageSize > 0 && o.pageSize() != flashPageSize {
+		return fmt.Errorf("%w: page size %d != flash page size %d",
+			ErrBadOptions, o.pageSize(), flashPageSize)
+	}
+	if o.LogCapacity < 0 {
+		return fmt.Errorf("%w: LogCapacity %d", ErrBadOptions, o.LogCapacity)
+	}
+	if o.LogReclaimThreshold < 0 || o.LogReclaimThreshold >= 1 {
+		return fmt.Errorf("%w: LogReclaimThreshold %v (need [0,1))", ErrBadOptions, o.LogReclaimThreshold)
+	}
+	if o.DirtyThreshold < 0 {
+		return fmt.Errorf("%w: DirtyThreshold %v", ErrBadOptions, o.DirtyThreshold)
+	}
+	if o.CleanBatch < 0 {
+		return fmt.Errorf("%w: CleanBatch %d", ErrBadOptions, o.CleanBatch)
+	}
+	return nil
+}
+
 // DB is the storage engine instance: catalog, buffer pool, WAL and the
-// per-region page stores. All public methods are safe for concurrent use;
-// operations serialise on an engine latch while simulated time still
-// overlaps through per-worker clocks.
+// per-region page stores. All public methods are safe for concurrent use
+// under fine-grained synchronisation (see DESIGN.md, "Latching
+// hierarchy"): tuple locks live in a sharded no-wait lock table, page
+// contents are guarded by per-frame latches, the WAL has its own short
+// mutex with group flush, and the only engine-wide lock is a
+// reader/writer state latch that stop-the-world operations (pool resize,
+// crash simulation, recovery) take exclusively while normal transactions
+// hold it shared.
 type DB struct {
-	mu   sync.Mutex
 	dev  *noftl.Device
 	log  *wal.Log
-	pool *buffer.Pool
 	opts Options
 
+	// stateMu guards the pool pointer and recovery state. Every normal
+	// operation holds it shared for its duration; ResizePool,
+	// SimulateCrash and Recover hold it exclusively.
+	stateMu    sync.RWMutex
+	pool       *buffer.Pool
+	inRecovery bool
+
+	// catMu guards the catalog maps (stores, tables, tablespaces). DDL
+	// only; never held across page I/O.
+	catMu       sync.Mutex
 	stores      map[string]*PageStore // by region name
-	pageDir     map[core.PageID]*PageStore
 	tables      map[string]*Table
 	tablespaces map[string]string // tablespace name → region name (DDL)
 
-	nextPage core.PageID
-	nextTx   uint64
-	active   map[uint64]*Tx
-	// locks is a no-wait exclusive lock table at RID granularity:
-	// conflicting updates fail immediately with ErrLockConflict (no-wait
-	// deadlock avoidance), and locks are held until commit/abort.
-	locks map[core.RID]uint64
+	// pageDir maps every allocated page to its owning store (sharded; on
+	// the buffer pool's fetch/flush path). locks is the sharded no-wait
+	// tuple lock table: conflicting updates fail immediately with
+	// ErrLockConflict and locks are held until commit/abort.
+	pageDir pageDir
+	locks   lockTable
 
+	nextPage atomic.Uint64
+	nextTx   atomic.Uint64
+
+	// txMu guards the active-transaction table (fuzzy checkpoints snapshot
+	// it).
+	txMu   sync.Mutex
+	active map[uint64]*Tx
+
+	// ckptMu serialises checkpoint/log-reclaim; reclaim triggers use
+	// TryLock so concurrent committers don't stampede behind one
+	// checkpoint.
+	ckptMu      sync.Mutex
 	cleaner     *sim.Worker
-	checkpoints uint64
-	reclaims    uint64
-	inRecovery  bool
+	checkpoints atomic.Uint64
+	reclaims    atomic.Uint64
 }
 
 // router dispatches buffer.Store calls to the page's owning store.
 type router struct{ db *DB }
 
 func (r router) Fetch(w *sim.Worker, id core.PageID, buf []byte) (int, error) {
-	st := r.db.pageDir[id]
+	st := r.db.pageDir.get(id)
 	if st == nil {
 		return 0, fmt.Errorf("%w: page %d has no store", noftl.ErrUnknownPage, id)
 	}
@@ -92,37 +154,43 @@ func (r router) Fetch(w *sim.Worker, id core.PageID, buf []byte) (int, error) {
 }
 
 func (r router) Flush(w *sim.Worker, fr *buffer.Frame) error {
-	st := r.db.pageDir[fr.ID]
+	st := r.db.pageDir.get(fr.ID)
 	if st == nil {
 		return fmt.Errorf("%w: page %d has no store", noftl.ErrUnknownPage, fr.ID)
 	}
 	return st.Flush(w, fr)
 }
 
+// newPool builds a buffer pool from the instance options — the single
+// place the buffer.Config literal lives, shared by New, ResizePool and
+// SimulateCrash.
+func (db *DB) newPool(frames int) (*buffer.Pool, error) {
+	return buffer.New(buffer.Config{
+		Frames:         frames,
+		PageSize:       db.opts.pageSize(),
+		DirtyThreshold: db.opts.DirtyThreshold,
+		CleanBatch:     db.opts.CleanBatch,
+		Cleaner:        db.cleaner,
+	}, router{db})
+}
+
 // New creates a database over a NoFTL device.
 func New(dev *noftl.Device, opts Options) (*DB, error) {
+	if err := opts.Validate(dev.Geometry().PageSize); err != nil {
+		return nil, err
+	}
 	db := &DB{
-		dev:      dev,
-		log:      wal.NewLog(opts.LogCapacity),
-		opts:     opts,
-		stores:   make(map[string]*PageStore),
-		pageDir:  make(map[core.PageID]*PageStore),
-		tables:   make(map[string]*Table),
-		nextPage: 1,
-		nextTx:   1,
-		active:   make(map[uint64]*Tx),
-		locks:    make(map[core.RID]uint64),
+		dev:    dev,
+		log:    wal.NewLog(opts.LogCapacity),
+		opts:   opts,
+		stores: make(map[string]*PageStore),
+		tables: make(map[string]*Table),
+		active: make(map[uint64]*Tx),
 	}
 	if opts.Timeline != nil {
 		db.cleaner = opts.Timeline.NewWorker()
 	}
-	pool, err := buffer.New(buffer.Config{
-		Frames:         opts.BufferFrames,
-		PageSize:       opts.pageSize(),
-		DirtyThreshold: opts.DirtyThreshold,
-		CleanBatch:     opts.CleanBatch,
-		Cleaner:        db.cleaner,
-	}, router{db})
+	pool, err := db.newPool(opts.BufferFrames)
 	if err != nil {
 		return nil, err
 	}
@@ -130,27 +198,36 @@ func New(dev *noftl.Device, opts Options) (*DB, error) {
 	return db, nil
 }
 
-// Log exposes the write-ahead log (read-only use by tools/tests).
+// Log exposes the write-ahead log.
+//
+// Deprecated: for tools and tests only (trace advisors, white-box
+// assertions). Production code should consume DB.Stats().
 func (db *DB) Log() *wal.Log { return db.log }
 
 // Pool exposes the buffer pool.
-func (db *DB) Pool() *buffer.Pool { return db.pool }
+//
+// Deprecated: for tools and tests only. Production code should consume
+// DB.Stats().
+func (db *DB) Pool() *buffer.Pool {
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	return db.pool
+}
 
 // Device exposes the NoFTL device.
+//
+// Deprecated: for tools and tests only. Production code should consume
+// DB.Stats().
 func (db *DB) Device() *noftl.Device { return db.dev }
 
 // Checkpoints returns how many checkpoints have been taken.
-func (db *DB) Checkpoints() uint64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.checkpoints
-}
+func (db *DB) Checkpoints() uint64 { return db.checkpoints.Load() }
 
 // AttachRegion makes a NoFTL region usable as a tablespace, creating its
 // page store.
 func (db *DB) AttachRegion(regionName string) (*PageStore, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
 	return db.attachRegionLocked(regionName)
 }
 
@@ -160,7 +237,7 @@ func (db *DB) attachRegionLocked(regionName string) (*PageStore, error) {
 	}
 	region := db.dev.Region(regionName)
 	if region == nil {
-		return nil, fmt.Errorf("engine: no region %q", regionName)
+		return nil, fmt.Errorf("%w: %q", ErrNoRegion, regionName)
 	}
 	st, err := NewPageStore(region, db.opts.pageSize(), db.opts.UseECC)
 	if err != nil {
@@ -172,31 +249,31 @@ func (db *DB) attachRegionLocked(regionName string) (*PageStore, error) {
 
 // Store returns the page store of a region, or nil.
 func (db *DB) Store(regionName string) *PageStore {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
 	return db.stores[regionName]
 }
 
-// allocPageLocked assigns a fresh page id owned by the store.
-func (db *DB) allocPageLocked(st *PageStore) core.PageID {
-	id := db.nextPage
-	db.nextPage++
-	db.pageDir[id] = st
+// allocPage assigns a fresh page id owned by the store.
+func (db *DB) allocPage(st *PageStore) core.PageID {
+	id := core.PageID(db.nextPage.Add(1))
+	db.pageDir.put(id, st)
 	return id
 }
 
-// newPageLocked allocates and formats a new page, returning it pinned.
-func (db *DB) newPageLocked(w *sim.Worker, st *PageStore, owner uint64, flags uint16) (*buffer.Frame, *page.Page, error) {
-	id := db.allocPageLocked(st)
+// newPage allocates and formats a new page, returning it pinned. The
+// caller holds stateMu shared.
+func (db *DB) newPage(w *sim.Worker, st *PageStore, owner uint64, flags uint16) (*buffer.Frame, *page.Page, error) {
+	id := db.allocPage(st)
 	fr, err := db.pool.GetNew(w, id)
 	if err != nil {
-		delete(db.pageDir, id)
+		db.pageDir.delete(id)
 		return nil, nil, err
 	}
 	pg, err := page.Format(fr.Data, st.layout, id)
 	if err != nil {
 		db.pool.Unpin(w, fr, false, 0)
-		delete(db.pageDir, id)
+		db.pageDir.delete(id)
 		return nil, nil, err
 	}
 	pg.SetOwner(owner)
@@ -204,14 +281,23 @@ func (db *DB) newPageLocked(w *sim.Worker, st *PageStore, owner uint64, flags ui
 	return fr, pg, nil
 }
 
-// maybeReclaimLocked emulates Shore-MT's eager log-space reclamation:
-// when the log fills past the threshold, the oldest dirty pages are
-// flushed, a fuzzy checkpoint is taken and the log tail advances.
-func (db *DB) maybeReclaimLocked(w *sim.Worker) error {
+// maybeReclaim emulates Shore-MT's eager log-space reclamation: when the
+// log fills past the threshold, the oldest dirty pages are flushed, a
+// fuzzy checkpoint is taken and the log tail advances. Reclaim is
+// best-effort concurrent: whichever committer trips the threshold first
+// runs it; everyone else proceeds. Caller holds stateMu shared.
+func (db *DB) maybeReclaim(w *sim.Worker) error {
 	if db.log.Capacity() == 0 || db.log.Usage() <= db.opts.reclaimThreshold() {
 		return nil
 	}
-	db.reclaims++
+	if !db.ckptMu.TryLock() {
+		return nil // a reclaim/checkpoint is already running
+	}
+	defer db.ckptMu.Unlock()
+	if db.log.Usage() <= db.opts.reclaimThreshold() {
+		return nil // the pass we raced with already reclaimed
+	}
+	db.reclaims.Add(1)
 	cw := db.cleaner
 	if cw == nil {
 		cw = w
@@ -226,24 +312,31 @@ func (db *DB) maybeReclaimLocked(w *sim.Worker) error {
 
 // Checkpoint takes a fuzzy checkpoint and truncates the log.
 func (db *DB) Checkpoint(w *sim.Worker) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
 	return db.checkpointLocked(w)
 }
 
+// checkpointLocked runs with ckptMu held and stateMu shared. The
+// active-transaction snapshot is fuzzy: transactions keep running while
+// the checkpoint record is built (their lastLSN fields are atomics).
 func (db *DB) checkpointLocked(w *sim.Worker) error {
+	db.txMu.Lock()
 	att := make(map[uint64]core.LSN, len(db.active))
 	var minTxFirst core.LSN
 	for id, tx := range db.active {
-		att[id] = tx.lastLSN
+		att[id] = tx.lastLSN.load()
 		if minTxFirst == 0 || tx.firstLSN < minTxFirst {
 			minTxFirst = tx.firstLSN
 		}
 	}
+	db.txMu.Unlock()
 	dpt := db.pool.DirtyPages()
 	ckptLSN := db.log.Append(wal.Record{Type: wal.RecCheckpoint, ActiveTxs: att, DirtyPages: dpt})
 	db.log.Flush(ckptLSN)
-	db.checkpoints++
+	db.checkpoints.Add(1)
 
 	// The log tail can advance to the oldest LSN still needed: the
 	// earliest recLSN of a dirty page, the first LSN of an active
@@ -261,28 +354,23 @@ func (db *DB) checkpointLocked(w *sim.Worker) error {
 
 // FlushAll forces every dirty page out (clean shutdown support).
 func (db *DB) FlushAll(w *sim.Worker) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
 	return db.pool.FlushAll(w)
 }
 
 // ResizePool replaces the buffer pool with one of the given frame count
 // (flushing all dirty pages first). The experiment harness uses this to
 // set the buffer size to a percentage of the loaded database size, as the
-// paper's buffer-sweep experiments do.
+// paper's buffer-sweep experiments do. Stop-the-world: blocks until all
+// in-flight operations drain.
 func (db *DB) ResizePool(w *sim.Worker, frames int) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
 	if err := db.pool.FlushAll(w); err != nil {
 		return err
 	}
-	pool, err := buffer.New(buffer.Config{
-		Frames:         frames,
-		PageSize:       db.opts.pageSize(),
-		DirtyThreshold: db.opts.DirtyThreshold,
-		CleanBatch:     db.opts.CleanBatch,
-		Cleaner:        db.cleaner,
-	}, router{db})
+	pool, err := db.newPool(frames)
 	if err != nil {
 		return err
 	}
@@ -294,22 +382,19 @@ func (db *DB) ResizePool(w *sim.Worker, frames int) error {
 // SimulateCrash throws away all volatile state — buffer pool contents and
 // the active-transaction table — keeping flash contents, the log and the
 // catalog (assumed on stable metadata storage, as NoFTL does). Restart
-// must call Recover before new work.
+// must call Recover before new work. Stop-the-world: blocks until all
+// in-flight operations drain.
 func (db *DB) SimulateCrash() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	pool, err := buffer.New(buffer.Config{
-		Frames:         db.opts.BufferFrames,
-		PageSize:       db.opts.pageSize(),
-		DirtyThreshold: db.opts.DirtyThreshold,
-		CleanBatch:     db.opts.CleanBatch,
-		Cleaner:        db.cleaner,
-	}, router{db})
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
+	pool, err := db.newPool(db.opts.BufferFrames)
 	if err != nil {
 		return err
 	}
 	db.pool = pool
+	db.txMu.Lock()
 	db.active = make(map[uint64]*Tx)
-	db.locks = make(map[core.RID]uint64)
+	db.txMu.Unlock()
+	db.locks.clear()
 	return nil
 }

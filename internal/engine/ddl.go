@@ -207,10 +207,10 @@ func (db *DB) execCreateTablespace(name string, opts map[string]string) error {
 	if !ok {
 		return fmt.Errorf("engine: tablespace %s needs REGION=...", name)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
 	if db.dev.Region(region) == nil {
-		return fmt.Errorf("engine: no region %q", region)
+		return fmt.Errorf("%w: %q", ErrNoRegion, region)
 	}
 	if db.tablespaces == nil {
 		db.tablespaces = make(map[string]string)
@@ -232,8 +232,8 @@ func (db *DB) resolveTablespace(opts map[string]string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("engine: need TABLESPACE= or REGION=")
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
 	region, ok := db.tablespaces[ts]
 	if !ok {
 		return "", fmt.Errorf("engine: no tablespace %q", ts)

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"sync"
+
+	"ipa/internal/core"
+)
+
+// lockShards is the number of independent shards in the RID lock table.
+// Power of two so the shard index is a mask of the hash.
+const lockShards = 64
+
+// lockTable is a sharded no-wait exclusive lock table at RID granularity.
+// Acquire either succeeds immediately or fails with the current owner —
+// there is no waiting, so deadlocks cannot arise (no-wait deadlock
+// avoidance); callers abort and retry. Each shard has its own mutex, so
+// transactions touching different tuples contend only on a hash
+// collision, never on a global lock.
+type lockTable struct {
+	shards [lockShards]lockShard
+}
+
+type lockShard struct {
+	mu    sync.Mutex
+	owner map[core.RID]uint64
+}
+
+func (lt *lockTable) shard(rid core.RID) *lockShard {
+	h := uint64(rid.Page)*0x9e3779b97f4a7c15 + uint64(rid.Slot)
+	return &lt.shards[(h>>32)&(lockShards-1)]
+}
+
+// acquire takes the exclusive lock on rid for txID. ok reports success
+// (including re-acquisition); fresh reports a first-time acquisition the
+// caller must remember for release; owner is the holder on conflict.
+func (lt *lockTable) acquire(rid core.RID, txID uint64) (ok, fresh bool, owner uint64) {
+	s := lt.shard(rid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.owner == nil {
+		s.owner = make(map[core.RID]uint64)
+	}
+	if cur, held := s.owner[rid]; held {
+		return cur == txID, false, cur
+	}
+	s.owner[rid] = txID
+	return true, true, txID
+}
+
+// release drops rid's lock if txID still owns it.
+func (lt *lockTable) release(rid core.RID, txID uint64) {
+	s := lt.shard(rid)
+	s.mu.Lock()
+	if s.owner[rid] == txID {
+		delete(s.owner, rid)
+	}
+	s.mu.Unlock()
+}
+
+// releaseAll drops every lock in rids owned by txID (commit/abort).
+func (lt *lockTable) releaseAll(rids []core.RID, txID uint64) {
+	for _, rid := range rids {
+		lt.release(rid, txID)
+	}
+}
+
+// clear empties the whole table (crash simulation).
+func (lt *lockTable) clear() {
+	for i := range lt.shards {
+		s := &lt.shards[i]
+		s.mu.Lock()
+		s.owner = nil
+		s.mu.Unlock()
+	}
+}

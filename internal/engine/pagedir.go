@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"sync"
+
+	"ipa/internal/core"
+)
+
+// dirShards is the number of shards in the page directory. Power of two.
+const dirShards = 64
+
+// pageDir maps page ids to their owning store. It is sharded so the
+// buffer pool's fetch/flush router — on the hot path of every miss and
+// eviction — never serialises on one map lock.
+type pageDir struct {
+	shards [dirShards]dirShard
+}
+
+type dirShard struct {
+	mu sync.RWMutex
+	m  map[core.PageID]*PageStore
+}
+
+func (pd *pageDir) shard(id core.PageID) *dirShard {
+	return &pd.shards[uint64(id)&(dirShards-1)]
+}
+
+// get returns the store owning id, or nil.
+func (pd *pageDir) get(id core.PageID) *PageStore {
+	s := pd.shard(id)
+	s.mu.RLock()
+	st := s.m[id]
+	s.mu.RUnlock()
+	return st
+}
+
+// put registers id as owned by st.
+func (pd *pageDir) put(id core.PageID, st *PageStore) {
+	s := pd.shard(id)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[core.PageID]*PageStore)
+	}
+	s.m[id] = st
+	s.mu.Unlock()
+}
+
+// delete removes id (failed allocation, page free).
+func (pd *pageDir) delete(id core.PageID) {
+	s := pd.shard(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}

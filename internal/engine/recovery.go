@@ -25,8 +25,10 @@ type RecoveryReport struct {
 // delta-records that were ISPP-appended before the crash — the paper's
 // claim that IPA leaves recovery untouched is exercised, not assumed.
 func (db *DB) Recover(w *sim.Worker) (RecoveryReport, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	// Recovery is stop-the-world: the state latch is held exclusively, so
+	// no transaction can run concurrently.
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
 	db.inRecovery = true
 	defer func() { db.inRecovery = false }()
 
@@ -79,7 +81,7 @@ func (db *DB) Recover(w *sim.Worker) (RecoveryReport, error) {
 			return true
 		}
 		img := r.After
-		applied, err := db.redoOneLocked(w, r.Page, r.Op, int(r.Slot), img, r.LSN)
+		applied, err := db.redoOne(w, r.Page, r.Op, int(r.Slot), img, r.LSN)
 		if err != nil {
 			redoErr = fmt.Errorf("engine: redo LSN %d on page %d: %w", r.LSN, r.Page, err)
 			return false
@@ -105,7 +107,7 @@ func (db *DB) Recover(w *sim.Worker) (RecoveryReport, error) {
 			rep.CompletedTxs++
 			continue
 		}
-		if err := db.rollbackLocked(w, id, ti.lastLSN); err != nil {
+		if err := db.rollback(w, id, ti.lastLSN); err != nil {
 			return rep, err
 		}
 		db.log.Append(wal.Record{Type: wal.RecEnd, TxID: id})
@@ -115,11 +117,11 @@ func (db *DB) Recover(w *sim.Worker) (RecoveryReport, error) {
 	return rep, nil
 }
 
-// redoOneLocked applies one logged operation if the page does not already
+// redoOne applies one logged operation if the page does not already
 // reflect it (PageLSN guard). Pages that were never flushed before the
-// crash are recreated empty.
-func (db *DB) redoOneLocked(w *sim.Worker, id core.PageID, op wal.PageOp, slot int, img []byte, lsn core.LSN) (bool, error) {
-	st := db.pageDir[id]
+// crash are recreated empty. Runs with stateMu held exclusively.
+func (db *DB) redoOne(w *sim.Worker, id core.PageID, op wal.PageOp, slot int, img []byte, lsn core.LSN) (bool, error) {
+	st := db.pageDir.get(id)
 	if st == nil {
 		return false, fmt.Errorf("page %d has no store", id)
 	}
@@ -161,7 +163,7 @@ func (db *DB) redoOneLocked(w *sim.Worker, id core.PageID, op wal.PageOp, slot i
 // engine metadata that survives the crash, but helper tests use this to
 // rebuild DB handles.
 func (db *DB) RestoreCatalog(t *Table) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
 	db.tables[t.name] = t
 }

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"ipa/internal/buffer"
+	"ipa/internal/flash"
+	"ipa/internal/noftl"
+)
+
+// Stats is one coherent snapshot of every layer of the engine —
+// checkpointing and log-space activity, buffer pool behaviour, raw flash
+// device counters, and the per-region NoFTL and page-store statistics.
+// It is the supported way for examples, experiments and operators to
+// observe the engine; the Log()/Pool()/Device() accessors remain only
+// for tools and white-box tests.
+//
+// The snapshot is not atomic across layers (counters keep moving while
+// it is assembled), but every individual counter is read race-free.
+type Stats struct {
+	// Engine-level counters.
+	Checkpoints uint64 // fuzzy checkpoints taken
+	LogReclaims uint64 // eager log-space reclamation passes
+
+	// Write-ahead log.
+	LogFlushes   uint64 // flush operations that moved the durable horizon
+	LogAbsorbed  uint64 // commits absorbed by another committer's group flush
+	LogUsedBytes uint64 // live log volume
+	LogUsage     float64
+
+	// Buffer pool (hits, misses, evictions, cleaner activity).
+	Pool buffer.Stats
+
+	// Raw flash array (reads, programs, delta-programs, erases, wear).
+	Flash flash.Stats
+
+	// Per-region views, keyed by region name: the NoFTL mapping layer
+	// (out-of-place writes, delta writes, GC migrations/erases) and the
+	// page store's IPA flush decisions.
+	Regions map[string]noftl.Stats
+	Stores  map[string]StoreStats
+}
+
+// Stats assembles a snapshot across all engine layers.
+func (db *DB) Stats() Stats {
+	db.stateMu.RLock()
+	pool := db.pool
+	db.stateMu.RUnlock()
+
+	s := Stats{
+		Checkpoints:  db.checkpoints.Load(),
+		LogReclaims:  db.reclaims.Load(),
+		LogFlushes:   db.log.Flushes(),
+		LogAbsorbed:  db.log.Absorbed(),
+		LogUsedBytes: db.log.UsedBytes(),
+		LogUsage:     db.log.Usage(),
+		Pool:         pool.Stats(),
+		Flash:        db.dev.Array().Stats(),
+		Regions:      make(map[string]noftl.Stats),
+		Stores:       make(map[string]StoreStats),
+	}
+	db.catMu.Lock()
+	stores := make(map[string]*PageStore, len(db.stores))
+	for name, st := range db.stores {
+		stores[name] = st
+	}
+	db.catMu.Unlock()
+	for name, st := range stores {
+		s.Regions[name] = st.Region().Stats()
+		s.Stores[name] = st.Stats()
+	}
+	return s
+}

@@ -7,6 +7,8 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ipa/internal/buffer"
@@ -35,8 +37,11 @@ const (
 	FlushOutOfPlace                  // full out-of-place page write
 )
 
-// StoreStats aggregates the flush decisions and the update-size
-// distributions the paper analyses.
+// StoreStats is a point-in-time snapshot of the flush decisions and the
+// update-size distributions the paper analyses, returned by
+// PageStore.Stats. The counter fields are copied values; the histogram
+// and latency fields point at the store's live (internally synchronised)
+// recorders, so they always read current and support Reset.
 type StoreStats struct {
 	Fetches      uint64
 	DeltaApply   uint64 // fetches that applied ≥1 delta-record
@@ -55,13 +60,16 @@ type StoreStats struct {
 	FlushLatency *metrics.Latency
 }
 
-func newStoreStats(pageSize int) *StoreStats {
-	return &StoreStats{
-		NetBytes:     metrics.NewHist(pageSize),
-		GrossBytes:   metrics.NewHist(pageSize),
-		FetchLatency: &metrics.Latency{},
-		FlushLatency: &metrics.Latency{},
-	}
+// storeCounters are the live counters behind StoreStats, updated with
+// atomics so concurrent fetch/flush paths never serialise on stats.
+type storeCounters struct {
+	fetches      atomic.Uint64
+	deltaApply   atomic.Uint64
+	eccCorrected atomic.Uint64
+
+	flushesSkipped atomic.Uint64
+	flushesDelta   atomic.Uint64
+	flushesOOP     atomic.Uint64
 }
 
 // TraceSink receives page-level I/O events for trace recording (the
@@ -80,12 +88,29 @@ type PageStore struct {
 	layout page.Layout
 	sect   ecc.Sections
 	useECC bool
-	stats  *StoreStats
+
+	ctr        storeCounters
+	netBytes   *metrics.Hist
+	grossBytes *metrics.Hist
+	fetchLat   *metrics.Latency
+	flushLat   *metrics.Latency
+
+	sinkMu sync.RWMutex
 	sink   TraceSink
 }
 
 // SetTraceSink attaches a trace recorder (nil detaches).
-func (s *PageStore) SetTraceSink(ts TraceSink) { s.sink = ts }
+func (s *PageStore) SetTraceSink(ts TraceSink) {
+	s.sinkMu.Lock()
+	s.sink = ts
+	s.sinkMu.Unlock()
+}
+
+func (s *PageStore) traceSink() TraceSink {
+	s.sinkMu.RLock()
+	defer s.sinkMu.RUnlock()
+	return s.sink
+}
 
 // NewPageStore creates a store over a region. pageSize is the database
 // page size; the [N×M] scheme comes from the region. When useECC is set,
@@ -96,10 +121,13 @@ func NewPageStore(region *noftl.Region, pageSize int, useECC bool) (*PageStore, 
 		return nil, err
 	}
 	s := &PageStore{
-		region: region,
-		layout: l,
-		useECC: useECC,
-		stats:  newStoreStats(pageSize),
+		region:     region,
+		layout:     l,
+		useECC:     useECC,
+		netBytes:   metrics.NewHist(pageSize),
+		grossBytes: metrics.NewHist(pageSize),
+		fetchLat:   &metrics.Latency{},
+		flushLat:   &metrics.Latency{},
 	}
 	s.sect = ecc.Sections{
 		BodyLen: l.DeltaAreaStart(),
@@ -121,8 +149,22 @@ func (s *PageStore) Layout() page.Layout { return s.layout }
 // Region returns the backing NoFTL region.
 func (s *PageStore) Region() *noftl.Region { return s.region }
 
-// Stats returns the store's counters.
-func (s *PageStore) Stats() *StoreStats { return s.stats }
+// Stats returns a snapshot of the store's counters (see StoreStats for
+// which fields are copies and which are live recorders).
+func (s *PageStore) Stats() StoreStats {
+	return StoreStats{
+		Fetches:        s.ctr.fetches.Load(),
+		DeltaApply:     s.ctr.deltaApply.Load(),
+		ECCCorrected:   s.ctr.eccCorrected.Load(),
+		FlushesSkipped: s.ctr.flushesSkipped.Load(),
+		FlushesDelta:   s.ctr.flushesDelta.Load(),
+		FlushesOOP:     s.ctr.flushesOOP.Load(),
+		NetBytes:       s.netBytes,
+		GrossBytes:     s.grossBytes,
+		FetchLatency:   s.fetchLat,
+		FlushLatency:   s.flushLat,
+	}
+}
 
 // Fetch implements buffer.Store: read the physical image, verify and
 // correct ECC per section, apply delta-records, and hand back the logical
@@ -139,21 +181,21 @@ func (s *PageStore) Fetch(w *sim.Worker, id core.PageID, buf []byte) (int, error
 		if err != nil {
 			return 0, fmt.Errorf("%w: page %d: %v", ErrECC, id, err)
 		}
-		s.stats.ECCCorrected += uint64(n)
+		s.ctr.eccCorrected.Add(uint64(n))
 	}
 	applied, err := page.Reconstruct(data, s.layout)
 	if err != nil {
 		return 0, fmt.Errorf("engine: reconstruct page %d: %w", id, err)
 	}
 	copy(buf, data)
-	s.stats.Fetches++
-	if s.sink != nil {
-		s.sink.RecordFetch(id)
+	s.ctr.fetches.Add(1)
+	if sink := s.traceSink(); sink != nil {
+		sink.RecordFetch(id)
 	}
 	if applied > 0 {
-		s.stats.DeltaApply++
+		s.ctr.deltaApply.Add(1)
 	}
-	s.stats.FetchLatency.Add(elapsed(w, start))
+	s.fetchLat.Add(elapsed(w, start))
 	return used, nil
 }
 
@@ -192,14 +234,14 @@ func (s *PageStore) Flush(w *sim.Worker, fr *buffer.Frame) error {
 	}
 	switch kind {
 	case FlushSkipped:
-		s.stats.FlushesSkipped++
+		s.ctr.flushesSkipped.Add(1)
 	case FlushDelta:
-		s.stats.FlushesDelta++
+		s.ctr.flushesDelta.Add(1)
 	case FlushOutOfPlace:
-		s.stats.FlushesOOP++
+		s.ctr.flushesOOP.Add(1)
 	}
 	if kind != FlushSkipped {
-		s.stats.FlushLatency.Add(elapsed(w, start))
+		s.flushLat.Add(elapsed(w, start))
 	}
 	return nil
 }
@@ -211,8 +253,8 @@ func (s *PageStore) flush(w *sim.Worker, fr *buffer.Frame) (FlushKind, error) {
 		if err := s.writeOutOfPlace(w, fr); err != nil {
 			return 0, err
 		}
-		if s.sink != nil {
-			s.sink.RecordEvict(fr.ID, 0, 0, true)
+		if sink := s.traceSink(); sink != nil {
+			sink.RecordEvict(fr.ID, 0, 0, true)
 		}
 		return FlushOutOfPlace, nil
 	}
@@ -228,10 +270,10 @@ func (s *PageStore) flush(w *sim.Worker, fr *buffer.Frame) (FlushKind, error) {
 		return FlushSkipped, nil
 	}
 	// Update-size statistics: this is an update I/O to an existing page.
-	s.stats.NetBytes.Add(cs.BodyBytes())
-	s.stats.GrossBytes.Add(cs.BodyBytes() + cs.MetaBytes())
-	if s.sink != nil {
-		s.sink.RecordEvict(fr.ID, cs.BodyBytes(), cs.BodyBytes()+cs.MetaBytes(), false)
+	s.netBytes.Add(cs.BodyBytes())
+	s.grossBytes.Add(cs.BodyBytes() + cs.MetaBytes())
+	if sink := s.traceSink(); sink != nil {
+		sink.RecordEvict(fr.ID, cs.BodyBytes(), cs.BodyBytes()+cs.MetaBytes(), false)
 	}
 
 	if s.region.CanAppend(fr.ID) {

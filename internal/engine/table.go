@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ipa/internal/core"
 	"ipa/internal/page"
@@ -20,19 +21,27 @@ var (
 // Table is a heap file of slotted pages in one region (tablespace). The
 // region decides whether the table's small updates become In-Place
 // Appends — the paper's selective application of IPA per database object.
+//
+// Concurrency: RID-addressed operations (Read/Update/Delete) synchronise
+// only on the tuple lock and the page's frame latch, so updates to
+// different pages proceed in parallel. Insert additionally holds the
+// table mutex, which guards the heap chain (pages, last) and serialises
+// inserts into the shared insertion target.
 type Table struct {
-	db    *DB
-	st    *PageStore
-	name  string
-	id    uint64
+	db   *DB
+	st   *PageStore
+	name string
+	id   uint64
+
+	mu    sync.Mutex
 	pages []core.PageID // heap chain, in allocation order
 	last  core.PageID   // current insertion target
 }
 
 // CreateTable creates a heap table placed in the named region.
 func (db *DB) CreateTable(name, regionName string) (*Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
 	}
@@ -47,8 +56,8 @@ func (db *DB) CreateTable(name, regionName string) (*Table, error) {
 
 // Table looks up a table by name.
 func (db *DB) Table(name string) (*Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
 	t, ok := db.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
@@ -64,22 +73,24 @@ func (t *Table) Store() *PageStore { return t.st }
 
 // Pages returns the number of allocated heap pages.
 func (t *Table) Pages() int {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.pages)
 }
 
 // Insert appends a tuple, logging the operation under tx.
 func (t *Table) Insert(tx *Tx, data []byte) (core.RID, error) {
 	db := t.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if tx.status != txActive {
-		return core.RID{}, fmt.Errorf("%w: tx %d", ErrTxDone, tx.id)
+		return core.RID{}, fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
 	}
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	// Try the current insertion target first.
 	if t.last != core.InvalidPageID {
-		rid, err := t.insertIntoLocked(tx, t.last, data)
+		rid, err := t.insertInto(tx, t.last, data)
 		if err == nil {
 			return rid, nil
 		}
@@ -88,22 +99,24 @@ func (t *Table) Insert(tx *Tx, data []byte) (core.RID, error) {
 		}
 	}
 	// Allocate a fresh page and chain it.
-	fr, pg, err := db.newPageLocked(tx.w, t.st, t.id, 0)
+	fr, pg, err := db.newPage(tx.w, t.st, t.id, 0)
 	if err != nil {
 		return core.RID{}, err
 	}
 	id := pg.ID()
 	if t.last != core.InvalidPageID {
 		// Link the previous tail to the new page.
-		if err := t.setNextLocked(tx.w, t.last, id); err != nil {
+		if err := t.setNext(tx.w, t.last, id); err != nil {
 			db.pool.Unpin(tx.w, fr, false, 0)
 			return core.RID{}, err
 		}
 	}
 	t.pages = append(t.pages, id)
 	t.last = id
+	fr.Latch()
 	slot, err := pg.Insert(data)
 	if err != nil {
+		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return core.RID{}, err
 	}
@@ -111,92 +124,114 @@ func (t *Table) Insert(tx *Tx, data []byte) (core.RID, error) {
 	if err := tx.lockRID(rid); err != nil {
 		// A fresh slot can only collide with a deleted-but-locked tuple.
 		pg.Delete(slot)
+		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return core.RID{}, err
 	}
 	lsn := tx.logUpdate(id, wal.OpInsert, slot, nil, data)
 	pg.SetLSN(lsn)
+	fr.Unlatch()
 	if err := db.pool.Unpin(tx.w, fr, true, lsn); err != nil {
 		return core.RID{}, err
 	}
-	return rid, db.maybeReclaimLocked(tx.w)
+	return rid, db.maybeReclaim(tx.w)
 }
 
-func (t *Table) insertIntoLocked(tx *Tx, id core.PageID, data []byte) (core.RID, error) {
+// insertInto inserts into an existing page. Caller holds stateMu shared
+// and t.mu.
+func (t *Table) insertInto(tx *Tx, id core.PageID, data []byte) (core.RID, error) {
 	db := t.db
 	fr, err := db.pool.Get(tx.w, id)
 	if err != nil {
 		return core.RID{}, err
 	}
+	fr.Latch()
 	pg, err := page.Attach(fr.Data, t.st.layout)
 	if err != nil {
+		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return core.RID{}, err
 	}
 	slot, err := pg.Insert(data)
 	if err != nil {
+		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return core.RID{}, err
 	}
 	rid := core.RID{Page: id, Slot: uint16(slot)}
 	if err := tx.lockRID(rid); err != nil {
 		pg.Delete(slot)
+		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return core.RID{}, err
 	}
 	lsn := tx.logUpdate(id, wal.OpInsert, slot, nil, data)
 	pg.SetLSN(lsn)
+	fr.Unlatch()
 	if err := db.pool.Unpin(tx.w, fr, true, lsn); err != nil {
 		return core.RID{}, err
 	}
 	return rid, nil
 }
 
-// setNextLocked updates the heap chain pointer of a page (metadata-only
-// change, itself absorbed as a delta when flushed).
-func (t *Table) setNextLocked(w *sim.Worker, id, next core.PageID) error {
+// setNext updates the heap chain pointer of a page (metadata-only
+// change, itself absorbed as a delta when flushed). Caller holds stateMu
+// shared.
+func (t *Table) setNext(w *sim.Worker, id, next core.PageID) error {
 	fr, err := t.db.pool.Get(w, id)
 	if err != nil {
 		return err
 	}
+	fr.Latch()
 	pg, err := page.Attach(fr.Data, t.st.layout)
 	if err != nil {
+		fr.Unlatch()
 		t.db.pool.Unpin(w, fr, false, 0)
 		return err
 	}
 	pg.SetNextPage(next)
-	return t.db.pool.Unpin(w, fr, true, pg.LSN())
+	lsn := pg.LSN()
+	fr.Unlatch()
+	return t.db.pool.Unpin(w, fr, true, lsn)
 }
 
 // Read copies the tuple at rid.
 func (t *Table) Read(w *sim.Worker, rid core.RID) ([]byte, error) {
 	db := t.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
 	fr, err := db.pool.Get(w, rid.Page)
 	if err != nil {
 		return nil, err
 	}
-	defer db.pool.Unpin(w, fr, false, 0)
+	fr.RLatch()
+	var out []byte
 	pg, err := page.Attach(fr.Data, t.st.layout)
+	if err == nil {
+		var tup []byte
+		tup, err = pg.ReadTuple(int(rid.Slot))
+		if err != nil {
+			err = fmt.Errorf("%w: %v: %v", ErrNoTuple, rid, err)
+		} else {
+			out = append([]byte(nil), tup...)
+		}
+	}
+	fr.RUnlatch()
+	db.pool.Unpin(w, fr, false, 0)
 	if err != nil {
 		return nil, err
 	}
-	tup, err := pg.ReadTuple(int(rid.Slot))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v: %v", ErrNoTuple, rid, err)
-	}
-	return append([]byte(nil), tup...), nil
+	return out, nil
 }
 
 // Update replaces the tuple at rid, logging before/after images.
 func (t *Table) Update(tx *Tx, rid core.RID, data []byte) error {
 	db := t.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if tx.status != txActive {
-		return fmt.Errorf("%w: tx %d", ErrTxDone, tx.id)
+		return fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
 	}
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
 	if err := tx.lockRID(rid); err != nil {
 		return err
 	}
@@ -204,27 +239,32 @@ func (t *Table) Update(tx *Tx, rid core.RID, data []byte) error {
 	if err != nil {
 		return err
 	}
+	fr.Latch()
 	pg, err := page.Attach(fr.Data, t.st.layout)
 	if err != nil {
+		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return err
 	}
 	old, err := pg.ReadTuple(int(rid.Slot))
 	if err != nil {
+		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return fmt.Errorf("%w: %v: %v", ErrNoTuple, rid, err)
 	}
 	before := append([]byte(nil), old...)
 	if err := pg.Update(int(rid.Slot), data); err != nil {
+		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return err
 	}
 	lsn := tx.logUpdate(rid.Page, wal.OpUpdate, int(rid.Slot), before, data)
 	pg.SetLSN(lsn)
+	fr.Unlatch()
 	if err := db.pool.Unpin(tx.w, fr, true, lsn); err != nil {
 		return err
 	}
-	return db.maybeReclaimLocked(tx.w)
+	return db.maybeReclaim(tx.w)
 }
 
 // UpdateField performs the OLTP pattern the paper analyses: a
@@ -246,11 +286,11 @@ func (t *Table) UpdateField(tx *Tx, rid core.RID, off int, val []byte) error {
 // Delete removes the tuple at rid.
 func (t *Table) Delete(tx *Tx, rid core.RID) error {
 	db := t.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if tx.status != txActive {
-		return fmt.Errorf("%w: tx %d", ErrTxDone, tx.id)
+		return fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
 	}
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
 	if err := tx.lockRID(rid); err != nil {
 		return err
 	}
@@ -258,50 +298,59 @@ func (t *Table) Delete(tx *Tx, rid core.RID) error {
 	if err != nil {
 		return err
 	}
+	fr.Latch()
 	pg, err := page.Attach(fr.Data, t.st.layout)
 	if err != nil {
+		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return err
 	}
 	old, err := pg.ReadTuple(int(rid.Slot))
 	if err != nil {
+		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return fmt.Errorf("%w: %v: %v", ErrNoTuple, rid, err)
 	}
 	before := append([]byte(nil), old...)
 	if err := pg.Delete(int(rid.Slot)); err != nil {
+		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return err
 	}
 	lsn := tx.logUpdate(rid.Page, wal.OpDelete, int(rid.Slot), before, nil)
 	pg.SetLSN(lsn)
+	fr.Unlatch()
 	return db.pool.Unpin(tx.w, fr, true, lsn)
 }
 
-// Scan visits every live tuple in heap order until fn returns false.
+// Scan visits every live tuple in heap order until fn returns false. The
+// callback runs with no latches held, so it may perform table reads;
+// tuples inserted concurrently may or may not be seen.
 func (t *Table) Scan(w *sim.Worker, fn func(rid core.RID, tuple []byte) bool) error {
 	db := t.db
-	db.mu.Lock()
+	t.mu.Lock()
 	pages := append([]core.PageID(nil), t.pages...)
-	db.mu.Unlock()
+	t.mu.Unlock()
 	for _, id := range pages {
-		db.mu.Lock()
-		fr, err := db.pool.Get(w, id)
-		if err != nil {
-			db.mu.Unlock()
-			return err
-		}
-		pg, err := page.Attach(fr.Data, t.st.layout)
-		if err != nil {
-			db.pool.Unpin(w, fr, false, 0)
-			db.mu.Unlock()
-			return err
-		}
 		type item struct {
 			rid core.RID
 			tup []byte
 		}
 		var items []item
+		db.stateMu.RLock()
+		fr, err := db.pool.Get(w, id)
+		if err != nil {
+			db.stateMu.RUnlock()
+			return err
+		}
+		fr.RLatch()
+		pg, err := page.Attach(fr.Data, t.st.layout)
+		if err != nil {
+			fr.RUnlatch()
+			db.pool.Unpin(w, fr, false, 0)
+			db.stateMu.RUnlock()
+			return err
+		}
 		for s := 0; s < pg.SlotCount(); s++ {
 			tup, err := pg.ReadTuple(s)
 			if err != nil {
@@ -309,8 +358,9 @@ func (t *Table) Scan(w *sim.Worker, fn func(rid core.RID, tuple []byte) bool) er
 			}
 			items = append(items, item{core.RID{Page: id, Slot: uint16(s)}, append([]byte(nil), tup...)})
 		}
+		fr.RUnlatch()
 		db.pool.Unpin(w, fr, false, 0)
-		db.mu.Unlock()
+		db.stateMu.RUnlock()
 		for _, it := range items {
 			if !fn(it.rid, it.tup) {
 				return nil

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"ipa/internal/core"
 	"ipa/internal/page"
@@ -19,25 +20,38 @@ const (
 	txAborted
 )
 
-// ErrTxDone is returned when operating on a finished transaction.
-var ErrTxDone = errors.New("engine: transaction already finished")
+// ErrTxClosed is returned when operating on a finished transaction.
+var ErrTxClosed = errors.New("engine: transaction already closed")
+
+// ErrTxDone is the historical name of ErrTxClosed.
+//
+// Deprecated: use ErrTxClosed. errors.Is matches either.
+var ErrTxDone = ErrTxClosed
 
 // ErrLockConflict is returned when a tuple is exclusively locked by
 // another active transaction. Locking is no-wait (immediate failure), so
 // deadlocks cannot arise; callers abort and retry.
 var ErrLockConflict = errors.New("engine: tuple locked by another transaction")
 
+// atomicLSN is an LSN readable by other goroutines (fuzzy checkpoints
+// snapshot active transactions without stopping them).
+type atomicLSN struct{ v atomic.Uint64 }
+
+func (a *atomicLSN) load() core.LSN   { return core.LSN(a.v.Load()) }
+func (a *atomicLSN) store(l core.LSN) { a.v.Store(uint64(l)) }
+
 // Tx is a transaction handle. A transaction belongs to one simulated
-// worker (terminal); its updates are WAL-logged with undo images, so
-// Abort rolls back via the normal ARIES path — which, with IPA, may read
-// pages whose uncommitted changes live in delta-records on flash
-// (Sec. 6.2, rollback discussion).
+// worker (terminal) and one goroutine; distinct transactions on the same
+// DB run concurrently. Updates are WAL-logged with undo images, so Abort
+// rolls back via the normal ARIES path — which, with IPA, may read pages
+// whose uncommitted changes live in delta-records on flash (Sec. 6.2,
+// rollback discussion).
 type Tx struct {
 	id       uint64
 	db       *DB
 	w        *sim.Worker
 	firstLSN core.LSN
-	lastLSN  core.LSN
+	lastLSN  atomicLSN
 	status   txStatus
 	updates  int
 	held     []core.RID // exclusive locks, released at commit/abort
@@ -46,72 +60,73 @@ type Tx struct {
 // Begin starts a transaction bound to the worker (nil is fine for
 // untimed use).
 func (db *DB) Begin(w *sim.Worker) *Tx {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	tx := &Tx{id: db.nextTx, db: db, w: w}
-	db.nextTx++
+	tx := &Tx{id: db.nextTx.Add(1), db: db, w: w}
 	tx.firstLSN = db.log.Append(wal.Record{Type: wal.RecBegin, TxID: tx.id})
-	tx.lastLSN = tx.firstLSN
+	tx.lastLSN.store(tx.firstLSN)
+	db.txMu.Lock()
 	db.active[tx.id] = tx
+	db.txMu.Unlock()
 	return tx
 }
 
 // ID returns the transaction id.
 func (tx *Tx) ID() uint64 { return tx.id }
 
-// lockRID acquires (or re-acquires) the exclusive tuple lock. Caller
-// holds db.mu.
+// lockRID acquires (or re-acquires) the exclusive tuple lock through the
+// sharded no-wait lock table.
 func (tx *Tx) lockRID(rid core.RID) error {
-	if owner, ok := tx.db.locks[rid]; ok {
-		if owner == tx.id {
-			return nil
-		}
+	ok, fresh, owner := tx.db.locks.acquire(rid, tx.id)
+	if !ok {
 		return fmt.Errorf("%w: %v held by tx %d", ErrLockConflict, rid, owner)
 	}
-	tx.db.locks[rid] = tx.id
-	tx.held = append(tx.held, rid)
+	if fresh {
+		tx.held = append(tx.held, rid)
+	}
 	return nil
 }
 
-// releaseLocksLocked drops every lock the transaction holds.
-func (tx *Tx) releaseLocksLocked() {
-	for _, rid := range tx.held {
-		if tx.db.locks[rid] == tx.id {
-			delete(tx.db.locks, rid)
-		}
-	}
+// releaseLocks drops every lock the transaction holds.
+func (tx *Tx) releaseLocks() {
+	tx.db.locks.releaseAll(tx.held, tx.id)
 	tx.held = nil
 }
 
-// logUpdate appends an update record and chains it. Caller holds db.mu.
+// logUpdate appends an update record and chains it. The caller holds the
+// latch of the page being modified, which orders WAL appends and page
+// applications identically per page (the PageLSN invariant redo relies
+// on).
 func (tx *Tx) logUpdate(pg core.PageID, op wal.PageOp, slot int, before, after []byte) core.LSN {
 	lsn := tx.db.log.Append(wal.Record{
-		Type: wal.RecUpdate, TxID: tx.id, PrevLSN: tx.lastLSN,
+		Type: wal.RecUpdate, TxID: tx.id, PrevLSN: tx.lastLSN.load(),
 		Page: pg, Op: op, Slot: uint16(slot),
 		Before: append([]byte(nil), before...),
 		After:  append([]byte(nil), after...),
 	})
-	tx.lastLSN = lsn
+	tx.lastLSN.store(lsn)
 	tx.updates++
 	return lsn
 }
 
 // Commit makes the transaction durable: the commit record is forced to
-// the log (no-force for data pages) and the transaction ends.
+// the log via group flush (no-force for data pages) and the transaction
+// ends. Commits of different transactions serialise only on the WAL's
+// own mutex.
 func (tx *Tx) Commit() error {
 	db := tx.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if tx.status != txActive {
-		return fmt.Errorf("%w: tx %d", ErrTxDone, tx.id)
+		return fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
 	}
-	lsn := db.log.Append(wal.Record{Type: wal.RecCommit, TxID: tx.id, PrevLSN: tx.lastLSN})
-	db.log.Flush(lsn)
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	lsn := db.log.Append(wal.Record{Type: wal.RecCommit, TxID: tx.id, PrevLSN: tx.lastLSN.load()})
+	db.log.GroupFlush(lsn)
 	db.log.Append(wal.Record{Type: wal.RecEnd, TxID: tx.id, PrevLSN: lsn})
 	tx.status = txCommitted
-	tx.releaseLocksLocked()
+	tx.releaseLocks()
+	db.txMu.Lock()
 	delete(db.active, tx.id)
-	return db.maybeReclaimLocked(tx.w)
+	db.txMu.Unlock()
+	return db.maybeReclaim(tx.w)
 }
 
 // Abort rolls the transaction back: its update chain is walked backwards,
@@ -120,25 +135,28 @@ func (tx *Tx) Commit() error {
 // transaction ends.
 func (tx *Tx) Abort() error {
 	db := tx.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if tx.status != txActive {
-		return fmt.Errorf("%w: tx %d", ErrTxDone, tx.id)
+		return fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
 	}
-	db.log.Append(wal.Record{Type: wal.RecAbort, TxID: tx.id, PrevLSN: tx.lastLSN})
-	if err := db.rollbackLocked(tx.w, tx.id, tx.lastLSN); err != nil {
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	db.log.Append(wal.Record{Type: wal.RecAbort, TxID: tx.id, PrevLSN: tx.lastLSN.load()})
+	if err := db.rollback(tx.w, tx.id, tx.lastLSN.load()); err != nil {
 		return err
 	}
 	db.log.Append(wal.Record{Type: wal.RecEnd, TxID: tx.id})
 	tx.status = txAborted
-	tx.releaseLocksLocked()
+	tx.releaseLocks()
+	db.txMu.Lock()
 	delete(db.active, tx.id)
+	db.txMu.Unlock()
 	return nil
 }
 
-// rollbackLocked undoes a transaction's updates starting from lastLSN,
-// writing a CLR per undone record. Shared by Abort and restart undo.
-func (db *DB) rollbackLocked(w *sim.Worker, txID uint64, from core.LSN) error {
+// rollback undoes a transaction's updates starting from lastLSN, writing
+// a CLR per undone record. Shared by Abort (stateMu held shared) and
+// restart undo (stateMu held exclusively).
+func (db *DB) rollback(w *sim.Worker, txID uint64, from core.LSN) error {
 	cur := from
 	for cur != 0 {
 		rec, err := db.log.Get(cur)
@@ -147,13 +165,7 @@ func (db *DB) rollbackLocked(w *sim.Worker, txID uint64, from core.LSN) error {
 		}
 		switch rec.Type {
 		case wal.RecUpdate:
-			undoOp, undoImg := invertOp(rec)
-			clr := db.log.Append(wal.Record{
-				Type: wal.RecCLR, TxID: txID,
-				Page: rec.Page, Op: undoOp, Slot: rec.Slot, After: undoImg,
-				UndoNext: rec.PrevLSN,
-			})
-			if err := db.applyToPageLocked(w, rec.Page, undoOp, int(rec.Slot), undoImg, clr); err != nil {
+			if err := db.undoOne(w, txID, rec); err != nil {
 				return err
 			}
 			cur = rec.PrevLSN
@@ -164,6 +176,40 @@ func (db *DB) rollbackLocked(w *sim.Worker, txID uint64, from core.LSN) error {
 		}
 	}
 	return nil
+}
+
+// undoOne compensates one update record: the CLR is appended and applied
+// under the page's latch, so the CLR's LSN is stamped in append order.
+func (db *DB) undoOne(w *sim.Worker, txID uint64, rec wal.Record) error {
+	st := db.pageDir.get(rec.Page)
+	if st == nil {
+		return fmt.Errorf("engine: undo on unknown page %d", rec.Page)
+	}
+	fr, err := db.pool.Get(w, rec.Page)
+	if err != nil {
+		return err
+	}
+	fr.Latch()
+	pg, err := page.Attach(fr.Data, st.layout)
+	if err != nil {
+		fr.Unlatch()
+		db.pool.Unpin(w, fr, false, 0)
+		return err
+	}
+	undoOp, undoImg := invertOp(rec)
+	clr := db.log.Append(wal.Record{
+		Type: wal.RecCLR, TxID: txID,
+		Page: rec.Page, Op: undoOp, Slot: rec.Slot, After: undoImg,
+		UndoNext: rec.PrevLSN,
+	})
+	if err := applyOp(pg, undoOp, int(rec.Slot), undoImg); err != nil {
+		fr.Unlatch()
+		db.pool.Unpin(w, fr, false, 0)
+		return err
+	}
+	pg.SetLSN(clr)
+	fr.Unlatch()
+	return db.pool.Unpin(w, fr, true, clr)
 }
 
 // invertOp returns the compensating operation for an update record.
@@ -178,30 +224,6 @@ func invertOp(rec wal.Record) (wal.PageOp, []byte) {
 	default:
 		return wal.OpNone, nil
 	}
-}
-
-// applyToPageLocked fetches a page and applies a physiological operation,
-// stamping the page with the given LSN. Used by rollback and redo.
-func (db *DB) applyToPageLocked(w *sim.Worker, id core.PageID, op wal.PageOp, slot int, img []byte, lsn core.LSN) error {
-	st := db.pageDir[id]
-	if st == nil {
-		return fmt.Errorf("engine: apply to unknown page %d", id)
-	}
-	fr, err := db.pool.Get(w, id)
-	if err != nil {
-		return err
-	}
-	pg, err := page.Attach(fr.Data, st.layout)
-	if err != nil {
-		db.pool.Unpin(w, fr, false, 0)
-		return err
-	}
-	if err := applyOp(pg, op, slot, img); err != nil {
-		db.pool.Unpin(w, fr, false, 0)
-		return err
-	}
-	pg.SetLSN(lsn)
-	return db.pool.Unpin(w, fr, true, lsn)
 }
 
 // applyOp performs a physiological page operation.

@@ -90,12 +90,15 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
-// Out carries everything an experiment table needs from one run.
+// Out carries everything an experiment table needs from one run. The
+// per-layer stats are views into one engine.Stats snapshot taken at the
+// end of the measured phase.
 type Out struct {
 	Spec    Spec
 	Results workload.Results
+	Engine  engine.Stats
 	Region  noftl.Stats
-	Store   *engine.StoreStats
+	Store   engine.StoreStats
 	Flash   flash.Stats
 	DBPages int
 	Frames  int
@@ -251,12 +254,14 @@ func Execute(s Spec) (*Out, error) {
 	}
 	st.SetTraceSink(nil)
 
+	stats := db.Stats()
 	return &Out{
 		Spec:    s,
 		Results: res,
-		Region:  st.Region().Stats(),
-		Store:   st.Stats(),
-		Flash:   arr.Stats(),
+		Engine:  stats,
+		Region:  stats.Regions["data"],
+		Store:   stats.Stores["data"],
+		Flash:   stats.Flash,
 		DBPages: dbPages,
 		Frames:  frames,
 		Trace:   tr,

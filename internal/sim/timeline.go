@@ -92,11 +92,13 @@ func (tl *Timeline) Advance(t Time) {
 }
 
 // Worker is one logical thread of execution in simulated time (a database
-// terminal, a cleaner, the garbage collector). Workers are not safe for
-// concurrent use; each belongs to a single goroutine or is driven
-// round-robin by the simulation loop.
+// terminal, a cleaner, the garbage collector). A worker normally belongs
+// to a single goroutine, but its clock is mutex-protected so shared
+// helper workers (the buffer cleaner, the checkpointer) can be charged
+// from whichever goroutine triggers them.
 type Worker struct {
 	tl  *Timeline
+	mu  sync.Mutex
 	now Time
 }
 
@@ -104,27 +106,39 @@ type Worker struct {
 func (tl *Timeline) NewWorker() *Worker { return &Worker{tl: tl} }
 
 // Now returns the worker's current simulated time.
-func (w *Worker) Now() Time { return w.now }
+func (w *Worker) Now() Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.now
+}
 
 // SetNow moves the worker's clock (used when a worker logically waits for
 // an event completed by another worker, e.g. a read served from buffer).
 func (w *Worker) SetNow(t Time) {
+	w.mu.Lock()
 	if t > w.now {
 		w.now = t
 	}
-	w.tl.Advance(w.now)
+	now := w.now
+	w.mu.Unlock()
+	w.tl.Advance(now)
 }
 
 // Compute advances the worker's clock by pure CPU time.
 func (w *Worker) Compute(d Duration) {
+	w.mu.Lock()
 	w.now += Time(d)
-	w.tl.Advance(w.now)
+	now := w.now
+	w.mu.Unlock()
+	w.tl.Advance(now)
 }
 
 // Use blocks the worker on resource r for duration d (queueing behind
 // earlier users) and returns the operation's total latency as observed by
 // the worker, i.e. waiting time plus service time.
 func (w *Worker) Use(r int, d Duration) Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	_, end := w.tl.Acquire(r, w.now, d)
 	lat := Duration(end - w.now)
 	w.now = end
@@ -136,6 +150,8 @@ func (w *Worker) Use(r int, d Duration) Duration {
 // issuing transaction). The returned completion instant can be waited on
 // with SetNow by whoever later depends on the result.
 func (w *Worker) UseAsync(r int, d Duration) Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	_, end := w.tl.Acquire(r, w.now, d)
 	return end
 }

@@ -120,11 +120,20 @@ type Log struct {
 	capacity  uint64 // log device size; 0 = unbounded
 	sizeAt    []uint64
 	flushes   uint64
+
+	// Group-flush state: one leader flushes on behalf of every committer
+	// whose records are already in the log; followers wait on flushCond
+	// and are absorbed without a device flush of their own.
+	flushCond *sync.Cond
+	flushing  bool
+	absorbed  uint64
 }
 
 // NewLog creates a log with the given capacity in bytes (0 = unbounded).
 func NewLog(capacity int) *Log {
-	return &Log{first: 1, next: 1, capacity: uint64(capacity)}
+	l := &Log{first: 1, next: 1, capacity: uint64(capacity)}
+	l.flushCond = sync.NewCond(&l.mu)
+	return l
 }
 
 // Append assigns the next LSN, stores the record and returns its LSN.
@@ -153,6 +162,47 @@ func (l *Log) Flush(lsn core.LSN) {
 		l.flushed = lsn
 		l.flushes++
 	}
+}
+
+// GroupFlush makes all records up to lsn durable using leader-based
+// group commit: the first committer to arrive becomes the leader and
+// flushes everything appended so far; committers arriving while a flush
+// is in flight wait, and when the leader's flush already covers their
+// LSN they return without a flush of their own. Under G concurrent
+// workers this turns up to G per-commit flushes into one.
+func (l *Log) GroupFlush(lsn core.LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.flushed >= lsn {
+			l.absorbed++
+			return
+		}
+		if !l.flushing {
+			break
+		}
+		l.flushCond.Wait()
+	}
+	l.flushing = true
+	target := l.next - 1 // absorb everything appended so far
+	// The device write happens outside the mutex so concurrent Appends
+	// (and followers registering) are not blocked behind it.
+	l.mu.Unlock()
+	l.mu.Lock()
+	if target > l.flushed {
+		l.flushed = target
+		l.flushes++
+	}
+	l.flushing = false
+	l.flushCond.Broadcast()
+}
+
+// Absorbed returns how many GroupFlush calls were satisfied by another
+// committer's flush (the group-commit win).
+func (l *Log) Absorbed() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.absorbed
 }
 
 // Flushed returns the durable horizon.
