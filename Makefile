@@ -2,7 +2,7 @@
 # lands. `make check` is what CI (and ROADMAP.md) means by tier-1.
 GO ?= go
 
-.PHONY: check vet build test race bench fmt
+.PHONY: check vet build test race bench bench-all fmt
 
 check: vet build race
 
@@ -20,7 +20,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Perf trajectory: the hot-path micro-benchmarks plus the 16-chip
+# concurrency macro-benchmark, 5 counts each, recorded as JSON evidence.
+BENCH_OUT ?= BENCH_PR2.json
 bench:
+	$(GO) test -run xxx -bench 'BenchmarkPageDiff$$|BenchmarkFlashProgramDelta$$' \
+		-benchmem -count=5 . > /tmp/bench_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkConcurrentTPCB' \
+		-benchmem -count=5 ./internal/workload/ >> /tmp/bench_raw.txt
+	cat /tmp/bench_raw.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_raw.txt > $(BENCH_OUT)
+
+bench-all:
 	$(GO) test -bench=. -benchmem -run xxx ./...
 
 fmt:

@@ -82,7 +82,9 @@ func BenchmarkDeltaEncodeDecode(b *testing.B) {
 }
 
 // BenchmarkPageDiff measures the diff-at-evict change tracking on a 4KB
-// page with a handful of changed bytes.
+// page with a handful of changed bytes, using the flush path's kernel: a
+// word-at-a-time scan with range-based classification into a reused
+// ChangeSet (steady state allocates nothing).
 func BenchmarkPageDiff(b *testing.B) {
 	l := page.Layout{PageSize: 4096, Scheme: core.Scheme{N: 2, M: 3, V: 12}}
 	buf := make([]byte, 4096)
@@ -93,11 +95,16 @@ func BenchmarkPageDiff(b *testing.B) {
 	flushed := append([]byte(nil), buf...)
 	buf[100] ^= 1
 	buf[8] ^= 1
+	var cs core.ChangeSet
+	var rbuf [4]core.ClassRange
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Diff(buf, flushed, pg.IsMeta, pg.InDeltaArea); err != nil {
+		if err := core.DiffInto(&cs, buf, flushed, pg.ClassRanges(rbuf[:0])); err != nil {
 			b.Fatal(err)
 		}
+	}
+	if len(cs.Body) != 1 || len(cs.Meta) != 1 {
+		b.Fatalf("diff found body=%d meta=%d, want 1/1", len(cs.Body), len(cs.Meta))
 	}
 }
 

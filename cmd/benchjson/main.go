@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document, so benchmark evidence can be committed in
+// a stable, diffable form (see `make bench`, which writes BENCH_PR2.json).
+//
+// Every benchmark result line becomes one record; the value/unit pairs
+// after the iteration count (ns/op, B/op, allocs/op, MB/s and any
+// b.ReportMetric extras like simtx/s) land in the metrics map verbatim.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	GoVersion string   `json:"go_version"`
+	GoOS      string   `json:"goos"`
+	GoArch    string   `json:"goarch"`
+	CPU       string   `json:"cpu,omitempty"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	doc := document{
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+	}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{
+			Name:       fields[0],
+			Package:    pkg,
+			Iterations: iters,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		doc.Results = append(doc.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

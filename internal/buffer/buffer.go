@@ -22,6 +22,7 @@ package buffer
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"ipa/internal/core"
@@ -233,6 +234,10 @@ func (p *Pool) Get(w *sim.Worker, id core.PageID) (*Frame, error) {
 		fr.pin = 1
 		fr.ref = true
 		fr.New = false
+		// Flushed must read nil while the load is in flight (it marks "no
+		// flushed image"), but its capacity is a full page — keep it for
+		// the post-load copy instead of allocating a fresh one per miss.
+		flushedBuf := fr.Flushed[:0]
 		fr.Flushed = nil
 		fr.UsedSlots = 0
 		fr.RecLSN = 0
@@ -256,7 +261,7 @@ func (p *Pool) Get(w *sim.Worker, id core.PageID) (*Frame, error) {
 			return nil, err
 		}
 		fr.UsedSlots = used
-		fr.Flushed = append(fr.Flushed[:0], fr.Data...)
+		fr.Flushed = append(flushedBuf, fr.Data...)
 		close(fr.loadDone)
 		p.mu.Unlock()
 		return fr, nil
@@ -467,28 +472,41 @@ func (p *Pool) FlushAll(w *sim.Worker) error {
 }
 
 // FlushOldest flushes up to n dirty unpinned frames with the smallest
-// RecLSN — the pages holding back log truncation.
+// RecLSN — the pages holding back log truncation. Candidates are
+// collected in one pass and sorted, rather than rescanning the whole
+// pool under the mutex for every flush; each is revalidated at claim
+// time since the pool moves on while flushes run.
 func (p *Pool) FlushOldest(w *sim.Worker, n int) (int, error) {
-	flushed := 0
-	for flushed < n {
-		var best *Frame
-		p.mu.Lock()
-		for _, fr := range p.frames {
-			if !fr.Dirty || fr.pin > 0 || fr.loading {
-				continue
-			}
-			if best == nil || fr.RecLSN < best.RecLSN {
-				best = fr
-			}
+	type cand struct {
+		fr     *Frame
+		recLSN core.LSN
+	}
+	p.mu.Lock()
+	cands := make([]cand, 0, p.dirty)
+	for _, fr := range p.frames {
+		if fr.Dirty && fr.pin == 0 && !fr.loading {
+			cands = append(cands, cand{fr, fr.RecLSN})
 		}
-		if best == nil {
-			p.mu.Unlock()
+	}
+	p.mu.Unlock()
+	// Stable sort: ties keep frame order, matching the old repeated-scan
+	// selection exactly.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].recLSN < cands[j].recLSN })
+	flushed := 0
+	for _, c := range cands {
+		if flushed >= n {
 			break
 		}
-		recLSN := best.RecLSN
-		p.claimLocked(best)
+		p.mu.Lock()
+		fr := c.fr
+		if !fr.Dirty || fr.pin > 0 || fr.loading {
+			p.mu.Unlock()
+			continue // flushed, reloaded or pinned since the snapshot
+		}
+		recLSN := fr.RecLSN
+		p.claimLocked(fr)
 		p.mu.Unlock()
-		if err := p.flushClaimed(w, best, recLSN); err != nil {
+		if err := p.flushClaimed(w, fr, recLSN); err != nil {
 			return flushed, err
 		}
 		flushed++

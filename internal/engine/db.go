@@ -339,11 +339,14 @@ func (db *DB) checkpointLocked(w *sim.Worker) error {
 	db.checkpoints.Add(1)
 
 	// The log tail can advance to the oldest LSN still needed: the
-	// earliest recLSN of a dirty page, the first LSN of an active
+	// earliest recLSN of a dirty page (straight from the checkpoint's own
+	// snapshot — no second pool scan), the first LSN of an active
 	// transaction, or the checkpoint itself.
 	cut := ckptLSN
-	if r := db.pool.OldestRecLSN(); r != 0 && r < cut {
-		cut = r
+	for _, r := range dpt {
+		if r != 0 && r < cut {
+			cut = r
+		}
 	}
 	if minTxFirst != 0 && minTxFirst < cut {
 		cut = minTxFirst

@@ -95,6 +95,14 @@ type PageStore struct {
 	fetchLat   *metrics.Latency
 	flushLat   *metrics.Latency
 
+	// Fetch reads the page image straight into the caller's frame buffer;
+	// the OOB area rides along for ECC and comes from this pool so the
+	// steady-state fetch path allocates nothing.
+	oobPool sync.Pool
+	// Flush diffs into pooled ChangeSets whose pair slices keep their
+	// capacity across flushes.
+	csPool sync.Pool
+
 	sinkMu sync.RWMutex
 	sink   TraceSink
 }
@@ -134,6 +142,12 @@ func NewPageStore(region *noftl.Region, pageSize int, useECC bool) (*PageStore, 
 		SlotLen: l.Scheme.RecordSize(),
 		Slots:   l.Scheme.N,
 	}
+	oobSize := region.OOBSize()
+	s.oobPool.New = func() any {
+		b := make([]byte, oobSize)
+		return &b
+	}
+	s.csPool.New = func() any { return new(core.ChangeSet) }
 	if pageSize != region.PageSize() {
 		return nil, fmt.Errorf("engine: page size %d != flash page size %d", pageSize, region.PageSize())
 	}
@@ -171,23 +185,34 @@ func (s *PageStore) Stats() StoreStats {
 // image plus the used-slot count (N_E).
 func (s *PageStore) Fetch(w *sim.Worker, id core.PageID, buf []byte) (int, error) {
 	start := now(w)
-	data, oob, err := s.region.Read(w, id)
-	if err != nil {
+	// The physical image lands directly in the caller's frame buffer and
+	// is reconstructed there in place — no intermediate copy. The OOB area
+	// is only needed for ECC verification, from a pooled scratch buffer.
+	var oob []byte
+	var oobp *[]byte
+	if s.useECC {
+		oobp = s.oobPool.Get().(*[]byte)
+		oob = *oobp
+	}
+	if err := s.region.ReadInto(w, id, buf, oob); err != nil {
+		if oobp != nil {
+			s.oobPool.Put(oobp)
+		}
 		return 0, err
 	}
-	used := page.UsedDeltaSlots(data, s.layout)
+	used := page.UsedDeltaSlots(buf, s.layout)
 	if s.useECC {
-		n, err := s.correctSections(data, oob, used)
+		n, err := s.correctSections(buf, oob, used)
+		s.oobPool.Put(oobp)
 		if err != nil {
 			return 0, fmt.Errorf("%w: page %d: %v", ErrECC, id, err)
 		}
 		s.ctr.eccCorrected.Add(uint64(n))
 	}
-	applied, err := page.Reconstruct(data, s.layout)
+	applied, err := page.Reconstruct(buf, s.layout)
 	if err != nil {
 		return 0, fmt.Errorf("engine: reconstruct page %d: %w", id, err)
 	}
-	copy(buf, data)
 	s.ctr.fetches.Add(1)
 	if sink := s.traceSink(); sink != nil {
 		sink.RecordFetch(id)
@@ -262,8 +287,13 @@ func (s *PageStore) flush(w *sim.Worker, fr *buffer.Frame) (FlushKind, error) {
 	if err != nil {
 		return 0, err
 	}
-	cs, err := core.Diff(fr.Data, fr.Flushed, pg.IsMeta, pg.InDeltaArea)
-	if err != nil {
+	// Range-classified word-scan diff into a pooled ChangeSet: the ranges
+	// live on the stack and the pair slices keep their capacity, so a
+	// flush of an unchanged page costs one XOR pass and zero allocations.
+	var rbuf [4]core.ClassRange
+	cs := s.csPool.Get().(*core.ChangeSet)
+	defer s.csPool.Put(cs)
+	if err := core.DiffInto(cs, fr.Data, fr.Flushed, pg.ClassRanges(rbuf[:0])); err != nil {
 		return 0, err
 	}
 	if cs.Empty() {
@@ -277,7 +307,7 @@ func (s *PageStore) flush(w *sim.Worker, fr *buffer.Frame) (FlushKind, error) {
 	}
 
 	if s.region.CanAppend(fr.ID) {
-		recs, perr := s.layout.Scheme.Plan(cs, fr.UsedSlots)
+		recs, perr := s.layout.Scheme.Plan(*cs, fr.UsedSlots)
 		if perr == nil && len(recs) > 0 {
 			if err := s.writeDelta(w, fr, recs); err == nil {
 				return FlushDelta, nil

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"ipa/internal/sim"
@@ -117,25 +116,59 @@ type Stats struct {
 	LeakedBits    uint64 // persistent retention leaks injected
 }
 
+// add accumulates another counter cell (shard aggregation).
+func (s *Stats) add(o Stats) {
+	s.Reads += o.Reads
+	s.Programs += o.Programs
+	s.DeltaPrograms += o.DeltaPrograms
+	s.Erases += o.Erases
+	s.Refreshes += o.Refreshes
+	s.BytesRead += o.BytesRead
+	s.BytesWritten += o.BytesWritten
+	s.BitErrors += o.BitErrors
+	s.Interference += o.Interference
+	s.LeakedBits += o.LeakedBits
+}
+
+// chipShard is the state of one flash chip (die). Every field a flash
+// operation touches is partitioned by PPN→chip, so each chip carries its
+// own mutex, fault-injection RNG and stats cell: operations on different
+// chips never contend, matching the I/O parallelism of the real array.
+type chipShard struct {
+	mu       chipLock
+	data     []byte      // page data, PagesPerChip × PageSize
+	oob      []byte      // spare area, PagesPerChip × OOBSize
+	state    []pageState // per page in chip
+	appends  []uint16    // ISPP re-programs since the initial program
+	lastProg []int16     // per block in chip: highest programmed page (-1 = none)
+	erases   []uint32    // per block in chip: P/E count
+	stats    Stats
+	rng      *rand.Rand
+
+	// Pad shards apart so two chips' mutexes and counters never share a
+	// cache line (the shards live contiguously in Array.shards).
+	_ [64]byte
+}
+
 // Array is a simulated flash device: a set of chips addressed by PPN,
-// with per-chip queueing on a shared sim.Timeline. All methods are safe
-// for concurrent use.
+// with per-chip queueing on a shared sim.Timeline. State is sharded per
+// chip (one lock and stats cell each); all methods are safe for
+// concurrent use and operations on distinct chips run in parallel.
 type Array struct {
 	cfg  Config
 	geom Geometry
 
-	mu    sync.Mutex
-	data  []byte      // page data, TotalPages × PageSize
-	oob   []byte      // spare area, TotalPages × OOBSize
-	state []pageState // per page
-	// appends counts ISPP re-programs since the initial program.
-	appends []uint16
-	// lastProg is the highest programmed page index per block, for
-	// program-order enforcement (-1 = none).
-	lastProg []int16
-	erases   []uint32 // per block P/E count
-	stats    Stats
-	rng      *rand.Rand
+	// Resolved once at construction so the hot paths never re-derive
+	// them under a shard lock.
+	maxAppends   int
+	endurance    int
+	pagesPerChip int
+	totalPages   int
+	chipShift    int  // log2(pagesPerChip) when it is a power of two, else -1
+	allLSB       bool // SLC: every page accepts ISPP re-programs
+	interfere    bool // interference injection armed (rate > 0, MLC/TLC)
+
+	shards []chipShard
 
 	tl *sim.Timeline // chip queueing; may be nil (no timing)
 }
@@ -152,26 +185,36 @@ func New(cfg Config, tl *sim.Timeline) (*Array, error) {
 	}
 	g := cfg.Geometry
 	a := &Array{
-		cfg:      cfg,
-		geom:     g,
-		data:     make([]byte, g.TotalPages()*g.PageSize),
-		oob:      make([]byte, g.TotalPages()*g.OOBSize),
-		state:    make([]pageState, g.TotalPages()),
-		appends:  make([]uint16, g.TotalPages()),
-		lastProg: make([]int16, g.TotalBlocks()),
-		erases:   make([]uint32, g.TotalBlocks()),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		tl:       tl,
+		cfg:          cfg,
+		geom:         g,
+		maxAppends:   cfg.DefaultMaxAppends(),
+		endurance:    cfg.endurance(),
+		pagesPerChip: g.PagesPerChip(),
+		totalPages:   g.TotalPages(),
+		chipShift:    log2Exact(g.PagesPerChip()),
+		allLSB:       g.Cell.PagesPerWordline() == 1,
+		interfere:    cfg.InterferenceRate > 0 && g.Cell != SLC,
+		shards:       make([]chipShard, g.Chips),
+		tl:           tl,
 	}
-	for i := range a.lastProg {
-		a.lastProg[i] = -1
-	}
-	// A fresh device reads as erased everywhere.
-	for i := range a.data {
-		a.data[i] = 0xFF
-	}
-	for i := range a.oob {
-		a.oob[i] = 0xFF
+	for c := range a.shards {
+		sh := &a.shards[c]
+		sh.data = make([]byte, a.pagesPerChip*g.PageSize)
+		sh.oob = make([]byte, a.pagesPerChip*g.OOBSize)
+		sh.state = make([]pageState, a.pagesPerChip)
+		sh.appends = make([]uint16, a.pagesPerChip)
+		sh.lastProg = make([]int16, g.BlocksPerChip)
+		sh.erases = make([]uint32, g.BlocksPerChip)
+		// Distinct deterministic stream per chip: fault injection stays
+		// reproducible for a given seed without serialising chips on a
+		// shared RNG.
+		sh.rng = rand.New(rand.NewSource(cfg.Seed + int64(uint64(c+1)*0x9E3779B97F4A7C15)))
+		for i := range sh.lastProg {
+			sh.lastProg[i] = -1
+		}
+		// A fresh device reads as erased everywhere.
+		fillErased(sh.data)
+		fillErased(sh.oob)
 	}
 	return a, nil
 }
@@ -179,37 +222,67 @@ func New(cfg Config, tl *sim.Timeline) (*Array, error) {
 // Geometry returns the array's geometry.
 func (a *Array) Geometry() Geometry { return a.geom }
 
-// Stats returns a snapshot of the operation counters.
+// shardOf returns the chip shard holding p plus p's page index within it.
+// The chip index feeds the shard lock's address, so the common
+// power-of-two geometry takes a shift/mask instead of a 64-bit divide.
+func (a *Array) shardOf(p PPN) (*chipShard, int) {
+	if a.chipShift >= 0 {
+		return &a.shards[int(p)>>a.chipShift], int(p) & (a.pagesPerChip - 1)
+	}
+	chip := int(p) / a.pagesPerChip
+	return &a.shards[chip], int(p) - chip*a.pagesPerChip
+}
+
+// shardOfBlock returns the chip shard holding the global block index plus
+// the block's index within the chip.
+func (a *Array) shardOfBlock(block int) (*chipShard, int) {
+	return &a.shards[block/a.geom.BlocksPerChip], block % a.geom.BlocksPerChip
+}
+
+// Stats returns a snapshot of the operation counters, aggregated over
+// all chip shards.
 func (a *Array) Stats() Stats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.stats
+	var total Stats
+	for c := range a.shards {
+		sh := &a.shards[c]
+		sh.mu.Lock()
+		total.add(sh.stats)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // ResetStats zeroes the operation counters (wear state is kept).
 func (a *Array) ResetStats() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.stats = Stats{}
+	for c := range a.shards {
+		sh := &a.shards[c]
+		sh.mu.Lock()
+		sh.stats = Stats{}
+		sh.mu.Unlock()
+	}
 }
 
 // EraseCount returns the P/E cycles consumed by the global block index.
 func (a *Array) EraseCount(block int) uint32 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.erases[block]
+	sh, lb := a.shardOfBlock(block)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.erases[lb]
 }
 
 // MaxEraseCount returns the highest per-block P/E count — the wear
 // hotspot that bounds device lifetime.
 func (a *Array) MaxEraseCount() uint32 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	var max uint32
-	for _, e := range a.erases {
-		if e > max {
-			max = e
+	for c := range a.shards {
+		sh := &a.shards[c]
+		sh.mu.Lock()
+		for _, e := range sh.erases {
+			if e > max {
+				max = e
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return max
 }
@@ -217,33 +290,45 @@ func (a *Array) MaxEraseCount() uint32 {
 // Appends returns the number of ISPP re-programs the page has absorbed
 // since its initial program.
 func (a *Array) Appends(p PPN) int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return int(a.appends[p])
+	sh, lp := a.shardOf(p)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return int(sh.appends[lp])
 }
 
 // IsErased reports whether the page is in the erased state.
 func (a *Array) IsErased(p PPN) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.state[p] == pageErased
+	sh, lp := a.shardOf(p)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.state[lp] == pageErased
 }
 
+// checkPPN is inlinable: the error construction lives in ppnError so the
+// hot path pays one compare against the precomputed page count.
 func (a *Array) checkPPN(p PPN) error {
-	if int(p) >= a.geom.TotalPages() {
-		return fmt.Errorf("%w: ppn %d of %d", ErrBounds, p, a.geom.TotalPages())
+	if int(p) >= a.totalPages {
+		return a.ppnError(p)
 	}
 	return nil
 }
 
-func (a *Array) pageData(p PPN) []byte {
-	off := int(p) * a.geom.PageSize
-	return a.data[off : off+a.geom.PageSize]
+// ppnError is kept out of line (and out of checkPPN's inlining budget)
+// so the bounds check itself inlines into every device entry point.
+//
+//go:noinline
+func (a *Array) ppnError(p PPN) error {
+	return fmt.Errorf("%w: ppn %d of %d", ErrBounds, p, a.totalPages)
 }
 
-func (a *Array) pageOOB(p PPN) []byte {
-	off := int(p) * a.geom.OOBSize
-	return a.oob[off : off+a.geom.OOBSize]
+func (sh *chipShard) pageData(lp, pageSize int) []byte {
+	off := lp * pageSize
+	return sh.data[off : off+pageSize]
+}
+
+func (sh *chipShard) pageOOB(lp, oobSize int) []byte {
+	off := lp * oobSize
+	return sh.oob[off : off+oobSize]
 }
 
 func (a *Array) occupy(w *sim.Worker, p PPN, d time.Duration) time.Duration {
@@ -258,27 +343,56 @@ func (a *Array) occupy(w *sim.Worker, p PPN, d time.Duration) time.Duration {
 // returned latency includes queueing. Injected bit errors appear only in
 // the returned copy.
 func (a *Array) Read(w *sim.Worker, p PPN) (data, oob []byte, lat time.Duration, err error) {
-	if err := a.checkPPN(p); err != nil {
+	data = make([]byte, a.geom.PageSize)
+	oob = make([]byte, a.geom.OOBSize)
+	lat, err = a.ReadInto(w, p, data, oob)
+	if err != nil {
 		return nil, nil, 0, err
 	}
-	a.mu.Lock()
-	data = append([]byte(nil), a.pageData(p)...)
-	oob = append([]byte(nil), a.pageOOB(p)...)
-	a.stats.Reads++
-	a.stats.BytesRead += uint64(a.geom.PageSize)
-	inject := a.cfg.BitErrorRate > 0 && a.rng.Float64() < a.cfg.BitErrorRate
+	return data, oob, lat, nil
+}
+
+// ReadInto is the zero-allocation read: the page's data and OOB are
+// copied into the caller's buffers (either may be nil to discard that
+// part; non-nil buffers must be exactly page/OOB sized). The physical
+// transfer always moves the whole page plus spare area regardless, so
+// stats and latency are identical to Read. Injected bit errors appear
+// only in the caller's data buffer, never in the stored image.
+func (a *Array) ReadInto(w *sim.Worker, p PPN, data, oob []byte) (lat time.Duration, err error) {
+	if err := a.checkPPN(p); err != nil {
+		return 0, err
+	}
+	if data != nil && len(data) != a.geom.PageSize {
+		return 0, fmt.Errorf("%w: read buffer %d bytes, page is %d", ErrBounds, len(data), a.geom.PageSize)
+	}
+	if oob != nil && len(oob) != a.geom.OOBSize {
+		return 0, fmt.Errorf("%w: oob buffer %d bytes, spare is %d", ErrBounds, len(oob), a.geom.OOBSize)
+	}
+	sh, lp := a.shardOf(p)
+	sh.mu.Lock()
+	if data != nil {
+		copy(data, sh.pageData(lp, a.geom.PageSize))
+	}
+	if oob != nil {
+		copy(oob, sh.pageOOB(lp, a.geom.OOBSize))
+	}
+	sh.stats.Reads++
+	// The transfer moves data plus spare area; count both (the OOB bytes
+	// ride along on every page read).
+	sh.stats.BytesRead += uint64(a.geom.PageSize + a.geom.OOBSize)
+	inject := a.cfg.BitErrorRate > 0 && sh.rng.Float64() < a.cfg.BitErrorRate
 	var bitPos int
 	if inject {
-		bitPos = a.rng.Intn(len(data) * 8)
-		a.stats.BitErrors++
+		bitPos = sh.rng.Intn(a.geom.PageSize * 8)
+		sh.stats.BitErrors++
 	}
-	a.mu.Unlock()
-	if inject {
+	sh.mu.Unlock()
+	if inject && data != nil {
 		data[bitPos/8] ^= 1 << (bitPos % 8)
 	}
 	xfer := time.Duration(a.geom.PageSize+a.geom.OOBSize) * a.cfg.Timing.TransferPerByte
 	lat = a.occupy(w, p, a.cfg.Timing.Read+xfer)
-	return data, oob, lat, nil
+	return lat, nil
 }
 
 // Program writes a full page (and optionally its OOB area, if oob is
@@ -294,28 +408,30 @@ func (a *Array) Program(w *sim.Worker, p PPN, data, oob []byte) (lat time.Durati
 	if oob != nil && len(oob) > a.geom.OOBSize {
 		return 0, fmt.Errorf("%w: oob %d bytes, spare is %d", ErrBounds, len(oob), a.geom.OOBSize)
 	}
-	a.mu.Lock()
-	if a.state[p] != pageErased {
-		a.mu.Unlock()
+	sh, lp := a.shardOf(p)
+	sh.mu.Lock()
+	if sh.state[lp] != pageErased {
+		sh.mu.Unlock()
 		return 0, fmt.Errorf("%w: ppn %d", ErrNotErased, p)
 	}
 	if a.cfg.StrictProgramOrder {
-		blk := a.geom.BlockOf(p)
-		if int16(a.geom.PageInBlock(p)) <= a.lastProg[blk] {
-			a.mu.Unlock()
-			return 0, fmt.Errorf("%w: page %d after %d in block %d", ErrProgramOrder, a.geom.PageInBlock(p), a.lastProg[blk], blk)
+		lb := lp / a.geom.PagesPerBlock
+		if int16(a.geom.PageInBlock(p)) <= sh.lastProg[lb] {
+			last := sh.lastProg[lb]
+			sh.mu.Unlock()
+			return 0, fmt.Errorf("%w: page %d after %d in block %d", ErrProgramOrder, a.geom.PageInBlock(p), last, a.geom.BlockOf(p))
 		}
-		a.lastProg[blk] = int16(a.geom.PageInBlock(p))
+		sh.lastProg[lb] = int16(a.geom.PageInBlock(p))
 	}
-	copy(a.pageData(p), data)
+	copy(sh.pageData(lp, a.geom.PageSize), data)
 	if oob != nil {
-		copy(a.pageOOB(p), oob)
+		copy(sh.pageOOB(lp, a.geom.OOBSize), oob)
 	}
-	a.state[p] = pageProgrammed
-	a.appends[p] = 0
-	a.stats.Programs++
-	a.stats.BytesWritten += uint64(len(data))
-	a.mu.Unlock()
+	sh.state[lp] = pageProgrammed
+	sh.appends[lp] = 0
+	sh.stats.Programs++
+	sh.stats.BytesWritten += uint64(len(data))
+	sh.mu.Unlock()
 	xfer := time.Duration(len(data)+len(oob)) * a.cfg.Timing.TransferPerByte
 	lat = a.occupy(w, p, a.geom.ProgramTime(a.cfg.Timing, p)+xfer)
 	return lat, nil
@@ -325,62 +441,67 @@ func (a *Array) Program(w *sim.Worker, p PPN, data, oob []byte) (lat time.Durati
 // range within an already-programmed page (plus, optionally, a range of
 // the OOB area for the delta's ECC). Every written bit must be a 1→0
 // transition or identity; otherwise ErrBitIncrease is returned and
-// nothing is written.
+// nothing is written. Validation runs word-at-a-time (uint64), so the
+// charge-rule check costs ~len/8 compares on the all-legal fast path.
 func (a *Array) ProgramDelta(w *sim.Worker, p PPN, off int, delta []byte, oobOff int, oobDelta []byte) (lat time.Duration, err error) {
 	if err := a.checkPPN(p); err != nil {
 		return 0, err
 	}
-	if off < 0 || off+len(delta) > a.geom.PageSize {
-		return 0, fmt.Errorf("%w: delta [%d,%d) on %dB page", ErrBounds, off, off+len(delta), a.geom.PageSize)
+	ps := a.geom.PageSize
+	if off < 0 || off+len(delta) > ps {
+		return 0, fmt.Errorf("%w: delta [%d,%d) on %dB page", ErrBounds, off, off+len(delta), ps)
 	}
 	if oobOff < 0 || oobOff+len(oobDelta) > a.geom.OOBSize {
 		return 0, fmt.Errorf("%w: oob delta [%d,%d) on %dB spare", ErrBounds, oobOff, oobOff+len(oobDelta), a.geom.OOBSize)
 	}
-	if !a.geom.IsLSB(p) {
+	if !a.allLSB && !a.geom.IsLSB(p) {
 		return 0, fmt.Errorf("%w: ppn %d", ErrMSBAppend, p)
 	}
-	a.mu.Lock()
-	if int(a.appends[p]) >= a.cfg.DefaultMaxAppends() {
-		a.mu.Unlock()
-		return 0, fmt.Errorf("%w: ppn %d at %d appends", ErrAppendLimit, p, a.appends[p])
+	sh, lp := a.shardOf(p)
+	sh.mu.Lock()
+	if int(sh.appends[lp]) >= a.maxAppends {
+		n := sh.appends[lp]
+		sh.mu.Unlock()
+		return 0, fmt.Errorf("%w: ppn %d at %d appends", ErrAppendLimit, p, n)
 	}
-	page := a.pageData(p)
-	for i, b := range delta {
-		old := page[off+i]
-		if b&^old != 0 { // a bit set in b but clear in old ⇒ charge decrease
-			a.mu.Unlock()
-			return 0, fmt.Errorf("%w: ppn %d offset %d: %#02x over %#02x", ErrBitIncrease, p, off+i, b, old)
-		}
+	base := lp * ps
+	page := sh.data[base : base+ps]
+	if i := chargeViolation(page[off:off+len(delta)], delta); i >= 0 {
+		old, b := page[off+i], delta[i]
+		sh.mu.Unlock()
+		return 0, fmt.Errorf("%w: ppn %d offset %d: %#02x over %#02x", ErrBitIncrease, p, off+i, b, old)
 	}
-	spare := a.pageOOB(p)
-	for i, b := range oobDelta {
-		old := spare[oobOff+i]
-		if b&^old != 0 {
-			a.mu.Unlock()
+	if len(oobDelta) > 0 {
+		spare := sh.pageOOB(lp, a.geom.OOBSize)
+		if i := chargeViolation(spare[oobOff:oobOff+len(oobDelta)], oobDelta); i >= 0 {
+			sh.mu.Unlock()
 			return 0, fmt.Errorf("%w: ppn %d oob offset %d", ErrBitIncrease, p, oobOff+i)
 		}
+		copy(spare[oobOff:], oobDelta)
 	}
 	copy(page[off:], delta)
-	copy(spare[oobOff:], oobDelta)
-	a.appends[p]++
-	a.stats.DeltaPrograms++
-	a.stats.BytesWritten += uint64(len(delta) + len(oobDelta))
+	sh.appends[lp]++
+	sh.stats.DeltaPrograms++
+	sh.stats.BytesWritten += uint64(len(delta) + len(oobDelta))
 	// Program interference: flip a bit in the same byte range of an
 	// adjacent MSB page (harmless to IPA because MSB pages are always
 	// rewritten whole, Appendix C.2 — but the model injects it so the
-	// claim is actually exercised).
-	if a.cfg.InterferenceRate > 0 && a.geom.Cell != SLC && a.rng.Float64() < a.cfg.InterferenceRate {
+	// claim is actually exercised). The neighbour shares p's block, hence
+	// its chip shard.
+	if a.interfere && sh.rng.Float64() < a.cfg.InterferenceRate {
 		if n := p + 1; int(n) < a.geom.TotalPages() && !a.geom.IsLSB(n) &&
-			a.geom.BlockOf(n) == a.geom.BlockOf(p) && a.state[n] == pageProgrammed && len(delta) > 0 {
-			victim := a.pageData(n)
-			bit := a.rng.Intn(len(delta) * 8)
+			a.geom.BlockOf(n) == a.geom.BlockOf(p) && sh.state[lp+1] == pageProgrammed && len(delta) > 0 {
+			victim := sh.pageData(lp+1, a.geom.PageSize)
+			bit := sh.rng.Intn(len(delta) * 8)
 			victim[off+bit/8] &^= 1 << (bit % 8) // interference only adds charge
-			a.stats.Interference++
+			sh.stats.Interference++
 		}
 	}
-	a.mu.Unlock()
-	xfer := time.Duration(len(delta)+len(oobDelta)) * a.cfg.Timing.TransferPerByte
-	lat = a.occupy(w, p, a.cfg.Timing.Delta+xfer)
+	sh.mu.Unlock()
+	if a.tl != nil && w != nil {
+		xfer := time.Duration(len(delta)+len(oobDelta)) * a.cfg.Timing.TransferPerByte
+		lat = w.Use(a.geom.ChipOf(p), a.cfg.Timing.Delta+xfer)
+	}
 	return lat, nil
 }
 
@@ -392,26 +513,21 @@ func (a *Array) Erase(w *sim.Worker, block int) (lat time.Duration, err error) {
 	if block < 0 || block >= a.geom.TotalBlocks() {
 		return 0, fmt.Errorf("%w: block %d of %d", ErrBounds, block, a.geom.TotalBlocks())
 	}
-	a.mu.Lock()
-	first := int(a.geom.FirstPageOfBlock(block))
+	sh, lb := a.shardOfBlock(block)
+	first := lb * a.geom.PagesPerBlock // first page of block within chip
 	n := a.geom.PagesPerBlock
+	sh.mu.Lock()
 	for i := first; i < first+n; i++ {
-		a.state[i] = pageErased
-		a.appends[i] = 0
+		sh.state[i] = pageErased
+		sh.appends[i] = 0
 	}
-	start := first * a.geom.PageSize
-	for i := start; i < start+n*a.geom.PageSize; i++ {
-		a.data[i] = 0xFF
-	}
-	ostart := first * a.geom.OOBSize
-	for i := ostart; i < ostart+n*a.geom.OOBSize; i++ {
-		a.oob[i] = 0xFF
-	}
-	a.lastProg[block] = -1
-	a.erases[block]++
-	a.stats.Erases++
-	worn := int(a.erases[block]) > a.cfg.endurance()
-	a.mu.Unlock()
+	fillErased(sh.data[first*a.geom.PageSize : (first+n)*a.geom.PageSize])
+	fillErased(sh.oob[first*a.geom.OOBSize : (first+n)*a.geom.OOBSize])
+	sh.lastProg[lb] = -1
+	sh.erases[lb]++
+	sh.stats.Erases++
+	worn := int(sh.erases[lb]) > a.endurance
+	sh.mu.Unlock()
 	lat = a.occupy(w, a.geom.FirstPageOfBlock(block), a.cfg.Timing.Erase)
 	if worn {
 		return lat, fmt.Errorf("%w: block %d", ErrWornOut, block)
@@ -435,30 +551,29 @@ func (a *Array) Reprogram(w *sim.Worker, p PPN, data, oob []byte) (lat time.Dura
 	if oob != nil && len(oob) != a.geom.OOBSize {
 		return 0, fmt.Errorf("%w: reprogram oob %d bytes", ErrBounds, len(oob))
 	}
-	a.mu.Lock()
-	if a.state[p] != pageProgrammed {
-		a.mu.Unlock()
+	sh, lp := a.shardOf(p)
+	sh.mu.Lock()
+	if sh.state[lp] != pageProgrammed {
+		sh.mu.Unlock()
 		return 0, fmt.Errorf("flash: reprogram of erased ppn %d", p)
 	}
-	page := a.pageData(p)
-	for i, b := range data {
-		if b&^page[i] != 0 {
-			a.mu.Unlock()
-			return 0, fmt.Errorf("%w: ppn %d offset %d (unrepairable in place)", ErrBitIncrease, p, i)
-		}
+	page := sh.pageData(lp, a.geom.PageSize)
+	if i := chargeViolation(page, data); i >= 0 {
+		sh.mu.Unlock()
+		return 0, fmt.Errorf("%w: ppn %d offset %d (unrepairable in place)", ErrBitIncrease, p, i)
 	}
-	spare := a.pageOOB(p)
-	for i, b := range oob {
-		if b&^spare[i] != 0 {
-			a.mu.Unlock()
+	spare := sh.pageOOB(lp, a.geom.OOBSize)
+	if oob != nil {
+		if i := chargeViolation(spare, oob); i >= 0 {
+			sh.mu.Unlock()
 			return 0, fmt.Errorf("%w: ppn %d oob offset %d", ErrBitIncrease, p, i)
 		}
 	}
 	copy(page, data)
 	copy(spare, oob)
-	a.stats.Refreshes++
-	a.stats.BytesWritten += uint64(len(data) + len(oob))
-	a.mu.Unlock()
+	sh.stats.Refreshes++
+	sh.stats.BytesWritten += uint64(len(data) + len(oob))
+	sh.mu.Unlock()
 	xfer := time.Duration(len(data)+len(oob)) * a.cfg.Timing.TransferPerByte
 	lat = a.occupy(w, p, a.geom.ProgramTime(a.cfg.Timing, p)+xfer)
 	return lat, nil
@@ -472,17 +587,18 @@ func (a *Array) InjectLeak(p PPN, n int) (int, error) {
 	if err := a.checkPPN(p); err != nil {
 		return 0, err
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	page := a.pageData(p)
+	sh, lp := a.shardOf(p)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	page := sh.pageData(lp, a.geom.PageSize)
 	leaked := 0
 	for try := 0; try < 64*n && leaked < n; try++ {
-		bit := a.rng.Intn(len(page) * 8)
+		bit := sh.rng.Intn(len(page) * 8)
 		if page[bit/8]>>(bit%8)&1 == 0 {
 			page[bit/8] |= 1 << (bit % 8)
 			leaked++
 		}
 	}
-	a.stats.LeakedBits += uint64(leaked)
+	sh.stats.LeakedBits += uint64(leaked)
 	return leaked, nil
 }

@@ -1,0 +1,106 @@
+package flash
+
+import "encoding/binary"
+
+// This file holds the word-at-a-time kernels of the device hot path. The
+// simulated array is bit-accurate, so every program validates the ISPP
+// charge rule (1→0 transitions only) against the stored image — on the
+// legal fast path that is a pure scan, and scanning 8 bytes per compare
+// instead of 1 is what keeps a software flash model from taxing the very
+// measurements it exists for.
+
+// log2Exact returns log2(n) when n is a positive power of two, else -1.
+func log2Exact(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		return -1
+	}
+	s := 0
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
+}
+
+// erasedChunk is a ready-made run of erased cells; erase fills copy from
+// it block-wise (memmove) instead of storing byte-by-byte.
+var erasedChunk [4096]byte
+
+func init() {
+	for i := range erasedChunk {
+		erasedChunk[i] = 0xFF
+	}
+}
+
+// fillErased sets every byte of b to the erased state (0xFF).
+func fillErased(b []byte) {
+	for len(b) > 0 {
+		b = b[copy(b, erasedChunk[:]):]
+	}
+}
+
+// chargeViolation scans a proposed program image against the stored one
+// and returns the index of the first byte whose programming would need a
+// 0→1 bit transition (a charge decrease, which only an erase can do), or
+// -1 if the whole write is legal. old and new must be the same length;
+// the caller slices both to the programmed range.
+//
+// A bit set in new but clear in old violates the rule, i.e.
+// new &^ old != 0. The scan runs 8 bytes at a time; only when a word
+// trips does it narrow down to the exact byte for the error message.
+func chargeViolation(old, new []byte) int {
+	n := len(new)
+	old = old[:n] // one bounds relation for the compiler to elide checks
+	i := 0
+	// 16 bytes per branch: two word compares folded into one test.
+	for ; i+16 <= n; i += 16 {
+		v := binary.LittleEndian.Uint64(new[i:]) &^ binary.LittleEndian.Uint64(old[i:])
+		v |= binary.LittleEndian.Uint64(new[i+8:]) &^ binary.LittleEndian.Uint64(old[i+8:])
+		if v != 0 {
+			return firstViolation(old, new, i)
+		}
+	}
+	if i == n {
+		return -1
+	}
+	if n >= 16 {
+		// Re-check the last 16 bytes as two (overlapping) words; bytes
+		// before i were already proven legal, so any hit lies in the tail.
+		t := n - 16
+		v := binary.LittleEndian.Uint64(new[t:]) &^ binary.LittleEndian.Uint64(old[t:])
+		v |= binary.LittleEndian.Uint64(new[t+8:]) &^ binary.LittleEndian.Uint64(old[t+8:])
+		if v != 0 {
+			return firstViolation(old, new, i)
+		}
+		return -1
+	}
+	if n >= 8 {
+		v := binary.LittleEndian.Uint64(new) &^ binary.LittleEndian.Uint64(old)
+		t := n - 8
+		v |= binary.LittleEndian.Uint64(new[t:]) &^ binary.LittleEndian.Uint64(old[t:])
+		if v != 0 {
+			return firstViolation(old, new, 0)
+		}
+		return -1
+	}
+	return firstViolationOrNone(old, new, i)
+}
+
+// firstViolation narrows a tripped word down to the exact byte (the slow
+// path only runs when the program is rejected anyway).
+func firstViolation(old, new []byte, from int) int {
+	for j := from; ; j++ {
+		if new[j]&^old[j] != 0 {
+			return j
+		}
+	}
+}
+
+func firstViolationOrNone(old, new []byte, from int) int {
+	for j := from; j < len(new); j++ {
+		if new[j]&^old[j] != 0 {
+			return j
+		}
+	}
+	return -1
+}

@@ -183,6 +183,12 @@ type Region struct {
 	chips   []int
 	stats   Stats
 	logical int // logical page capacity
+
+	// Migration scratch (guarded by mu, like all GC state): page moves
+	// inside collectLocked/maybeLevelLocked re-read into these instead of
+	// allocating two slices per migrated page.
+	migData []byte
+	migOOB  []byte
 }
 
 // Device owns the flash array and hands out regions.
@@ -373,6 +379,36 @@ func (r *Region) Read(w *sim.Worker, id core.PageID) (data, oob []byte, err erro
 	}
 	r.stats.ReadTime += lat
 	return data, oob, nil
+}
+
+// ReadInto fetches the logical page into caller-owned buffers: data (page
+// size) and/or oob (spare size) may be nil to skip that part of the
+// transfer. This is the allocation-free twin of Read used by the buffer
+// pool's steady-state fetch path.
+func (r *Region) ReadInto(w *sim.Worker, id core.PageID, data, oob []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ppn, ok := r.mapping[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	}
+	r.stats.HostReads++
+	lat, err := r.dev.arr.ReadInto(w, ppn, data, oob)
+	if err != nil {
+		return err
+	}
+	r.stats.ReadTime += lat
+	return nil
+}
+
+// migBuffers returns the region's migration scratch buffers, sized on
+// first use. Callers hold r.mu.
+func (r *Region) migBuffers() (data, oob []byte) {
+	if r.migData == nil {
+		r.migData = make([]byte, r.dev.geom.PageSize)
+		r.migOOB = make([]byte, r.dev.geom.OOBSize)
+	}
+	return r.migData, r.migOOB
 }
 
 // Write stores a full logical page out-of-place: the page is programmed
@@ -603,7 +639,8 @@ func (r *Region) collectLocked(w *sim.Worker, chip int) error {
 		if err != nil {
 			return err
 		}
-		data, oob, rlat, err := r.dev.arr.Read(w, ppn)
+		data, oob := r.migBuffers()
+		rlat, err := r.dev.arr.ReadInto(w, ppn, data, oob)
 		if err != nil {
 			return err
 		}
@@ -680,8 +717,8 @@ func (r *Region) maybeLevelLocked(w *sim.Worker, chip int) {
 		if err != nil {
 			return // pool too tight; try again after the next collect
 		}
-		data, oob, _, err := arr.Read(w, ppn)
-		if err != nil {
+		data, oob := r.migBuffers()
+		if _, err := arr.ReadInto(w, ppn, data, oob); err != nil {
 			return
 		}
 		if _, err := arr.Program(w, dst, data, oob); err != nil {

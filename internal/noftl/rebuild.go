@@ -27,7 +27,8 @@ type PhysicalPage struct {
 // ScanPhysical visits every programmed (non-erased) physical page of the
 // region in PPN order, calling fn until it returns false. The raw image
 // is passed as stored — delta-records not applied; interpretation is the
-// caller's job (it knows the page layout).
+// caller's job (it knows the page layout). Data and OOB buffers are
+// reused across calls: fn must copy anything it wants to retain.
 func (r *Region) ScanPhysical(w *sim.Worker, fn func(p PhysicalPage) bool) error {
 	r.mu.Lock()
 	blocks := make([]int, 0, len(r.blocks))
@@ -44,14 +45,15 @@ func (r *Region) ScanPhysical(w *sim.Worker, fn func(p PhysicalPage) bool) error
 		}
 	}
 	arr := r.dev.arr
+	data := make([]byte, r.dev.geom.PageSize)
+	oob := make([]byte, r.dev.geom.OOBSize)
 	for _, b := range blocks {
 		for slot := 0; slot < r.usablePagesPerBlock(); slot++ {
 			ppn := r.pageSlotToPPN(b, slot)
 			if arr.IsErased(ppn) {
 				continue
 			}
-			data, oob, _, err := arr.Read(w, ppn)
-			if err != nil {
+			if _, err := arr.ReadInto(w, ppn, data, oob); err != nil {
 				return fmt.Errorf("noftl: scan ppn %d: %w", ppn, err)
 			}
 			if !fn(PhysicalPage{PPN: ppn, Data: data, OOB: oob}) {

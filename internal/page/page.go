@@ -230,6 +230,37 @@ func (p *Page) IsMeta(off int) bool {
 // (always excluded from diffs: the logical image keeps it erased).
 func (p *Page) InDeltaArea(off int) bool { return off >= p.l.DeltaAreaStart() }
 
+// ClassRanges appends the page's offset-classification runs to rs and
+// returns the result: header and slot table are metadata, the region
+// between them is tuple body, and the delta area is skipped. At most four
+// ranges are appended, so `var buf [4]core.ClassRange` with
+// `p.ClassRanges(buf[:0])` stays allocation-free.
+//
+// The ranges say exactly what IsMeta and InDeltaArea say — IsMeta(off) is
+// "off < HeaderSize or slotTableLow ≤ off < DeltaAreaStart", InDeltaArea
+// is "off ≥ DeltaAreaStart" — just as sorted runs instead of predicates,
+// which is what core.DiffInto wants. The slot-table boundary depends on
+// the page's current SlotCount, so ranges must be re-derived per diff,
+// not cached per layout.
+func (p *Page) ClassRanges(rs []core.ClassRange) []core.ClassRange {
+	stl := p.slotTableLow()
+	das := p.l.DeltaAreaStart()
+	if stl < HeaderSize {
+		stl = HeaderSize // corrupt slot count: keep ranges well-formed
+	}
+	rs = append(rs, core.ClassRange{Start: 0, End: HeaderSize, Class: core.ClassMeta})
+	if stl > HeaderSize {
+		rs = append(rs, core.ClassRange{Start: HeaderSize, End: stl, Class: core.ClassBody})
+	}
+	if das > stl {
+		rs = append(rs, core.ClassRange{Start: stl, End: das, Class: core.ClassMeta})
+	}
+	if p.l.PageSize > das {
+		rs = append(rs, core.ClassRange{Start: das, End: p.l.PageSize, Class: core.ClassSkip})
+	}
+	return rs
+}
+
 // Insert stores a tuple and returns its slot number. Deleted slots are
 // reused; the body is compacted if fragmented free space suffices.
 func (p *Page) Insert(data []byte) (int, error) {

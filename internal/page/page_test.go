@@ -246,6 +246,66 @@ func TestIsMetaClassification(t *testing.T) {
 	}
 }
 
+// TestClassRangesMatchClosures proves the diff fast path's range
+// classifier agrees with IsMeta/InDeltaArea at every offset, for pages
+// with and without tuples (the slot-table boundary moves with SlotCount).
+func TestClassRangesMatchClosures(t *testing.T) {
+	p := newPage(t)
+	check := func(label string) {
+		t.Helper()
+		var rbuf [4]core.ClassRange
+		ranges := p.ClassRanges(rbuf[:0])
+		for off := 0; off < p.Layout().PageSize; off++ {
+			want := core.ClassBody
+			switch {
+			case p.InDeltaArea(off):
+				want = core.ClassSkip
+			case p.IsMeta(off):
+				want = core.ClassMeta
+			}
+			got := core.ClassBody
+			for _, r := range ranges {
+				if off >= r.Start && off < r.End {
+					got = r.Class
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("%s: offset %d classified %v, closures say %v", label, off, got, want)
+			}
+		}
+		for i := 1; i < len(ranges); i++ {
+			if ranges[i].Start < ranges[i-1].End {
+				t.Fatalf("%s: ranges unsorted: %v", label, ranges)
+			}
+		}
+	}
+	check("empty page")
+	for i := 0; i < 5; i++ {
+		if _, err := p.Insert([]byte("tuple-data")); err != nil {
+			t.Fatal(err)
+		}
+		check("after insert")
+	}
+}
+
+func TestClassRangesZeroAllocs(t *testing.T) {
+	p := newPage(t)
+	if _, err := p.Insert([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var rbuf [4]core.ClassRange
+		rs := p.ClassRanges(rbuf[:0])
+		if len(rs) == 0 {
+			t.Fatal("no ranges")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ClassRanges: %.1f allocs/op, want 0", allocs)
+	}
+}
+
 func TestReconstructPhysicalImage(t *testing.T) {
 	p := newPage(t)
 	s, _ := p.Insert([]byte{9, 9, 9, 9})

@@ -15,6 +15,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -29,66 +30,82 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Timeline tracks the busy horizon of a set of resources. It is safe for
-// concurrent use; FIFO admission per resource is serialised by a mutex.
-type Timeline struct {
+// resource is one busy horizon with its own admission lock, padded so
+// adjacent resources never share a cache line: the whole point of
+// striping is that 16 chips can admit operations from 16 workers without
+// bouncing a shared line between cores.
+type resource struct {
 	mu   sync.Mutex
-	busy []Time
-	max  Time
+	busy Time
+	_    [64 - 8 - 8]byte
+}
+
+// Timeline tracks the busy horizon of a set of resources. It is safe for
+// concurrent use; FIFO admission is serialised *per resource*, so
+// operations on different resources (different flash chips) never contend
+// with each other. The global horizon is maintained with a lock-free
+// atomic max.
+type Timeline struct {
+	res []resource
+	max atomic.Int64
 }
 
 // NewTimeline creates a timeline for n resources, all idle at time 0.
 func NewTimeline(n int) *Timeline {
-	return &Timeline{busy: make([]Time, n)}
+	return &Timeline{res: make([]resource, n)}
 }
 
 // Resources returns the number of resources managed by the timeline.
-func (tl *Timeline) Resources() int { return len(tl.busy) }
+func (tl *Timeline) Resources() int { return len(tl.res) }
+
+// advanceMax lifts the horizon to at least t (atomic CAS max).
+func (tl *Timeline) advanceMax(t Time) {
+	for {
+		cur := tl.max.Load()
+		if int64(t) <= cur || tl.max.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
 
 // Acquire schedules an operation of the given duration on resource r,
 // issued by a worker whose clock reads now. It returns the start and
 // completion instants; the resource is busy until completion.
 func (tl *Timeline) Acquire(r int, now Time, d Duration) (start, end Time) {
-	if r < 0 || r >= len(tl.busy) {
-		panic(fmt.Sprintf("sim: resource %d out of range [0,%d)", r, len(tl.busy)))
+	if r < 0 || r >= len(tl.res) {
+		panic(fmt.Sprintf("sim: resource %d out of range [0,%d)", r, len(tl.res)))
 	}
-	tl.mu.Lock()
-	defer tl.mu.Unlock()
+	res := &tl.res[r]
+	res.mu.Lock()
 	start = now
-	if tl.busy[r] > start {
-		start = tl.busy[r]
+	if res.busy > start {
+		start = res.busy
 	}
 	end = start + Time(d)
-	tl.busy[r] = end
-	if end > tl.max {
-		tl.max = end
-	}
+	res.busy = end
+	res.mu.Unlock()
+	tl.advanceMax(end)
 	return start, end
 }
 
 // BusyUntil reports the instant resource r becomes idle.
 func (tl *Timeline) BusyUntil(r int) Time {
-	tl.mu.Lock()
-	defer tl.mu.Unlock()
-	return tl.busy[r]
+	res := &tl.res[r]
+	res.mu.Lock()
+	defer res.mu.Unlock()
+	return res.busy
 }
 
 // Horizon is the latest completion instant scheduled so far — the total
 // simulated elapsed time of the run.
 func (tl *Timeline) Horizon() Time {
-	tl.mu.Lock()
-	defer tl.mu.Unlock()
-	return tl.max
+	return Time(tl.max.Load())
 }
 
 // Advance moves the horizon forward without occupying a resource, used to
 // account for pure CPU time.
 func (tl *Timeline) Advance(t Time) {
-	tl.mu.Lock()
-	defer tl.mu.Unlock()
-	if t > tl.max {
-		tl.max = t
-	}
+	tl.advanceMax(t)
 }
 
 // Worker is one logical thread of execution in simulated time (a database
