@@ -20,14 +20,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Perf trajectory: the hot-path micro-benchmarks plus the 16-chip
-# concurrency macro-benchmark, 5 counts each, recorded as JSON evidence.
-BENCH_OUT ?= BENCH_PR2.json
+# Perf trajectory: the hot-path micro-benchmarks, the 16-chip
+# concurrency macro-benchmark, and the inline-vs-background GC
+# interference benchmark, 5 counts each, recorded as JSON evidence.
+BENCH_OUT ?= BENCH_PR3.json
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkPageDiff$$|BenchmarkFlashProgramDelta$$' \
 		-benchmem -count=5 . > /tmp/bench_raw.txt
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentTPCB' \
 		-benchmem -count=5 ./internal/workload/ >> /tmp/bench_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkGCInterference' -benchtime 1000000x \
+		-count=5 ./internal/noftl/ >> /tmp/bench_raw.txt
 	cat /tmp/bench_raw.txt
 	$(GO) run ./cmd/benchjson < /tmp/bench_raw.txt > $(BENCH_OUT)
 

@@ -110,6 +110,12 @@ type Config struct {
 	// so cleaning occupies flash chips without blocking the transaction
 	// that triggered it (steal/no-force). Nil charges the calling worker.
 	Cleaner *sim.Worker
+	// CleanNotify, when set, replaces the inline CleanerPass that Unpin
+	// runs on crossing the dirty threshold: the pool calls it (without
+	// holding any lock) and the owner is expected to run CleanerPass from
+	// its own maintenance thread. This takes cleaning off the transaction
+	// path entirely.
+	CleanNotify func()
 }
 
 func (c Config) dirtyThreshold() float64 {
@@ -318,6 +324,10 @@ func (p *Pool) Unpin(w *sim.Worker, fr *Frame, dirty bool, recLSN core.LSN) erro
 	needClean := float64(p.dirty)/float64(len(p.frames)) > p.cfg.dirtyThreshold()
 	p.mu.Unlock()
 	if needClean {
+		if p.cfg.CleanNotify != nil {
+			p.cfg.CleanNotify()
+			return nil
+		}
 		return p.CleanerPass(w)
 	}
 	return nil

@@ -40,8 +40,19 @@ type Options struct {
 	// non-eager configuration. Values above 1 disable cleaning.
 	DirtyThreshold float64
 	CleanBatch     int
+	// ReclaimFlushBatch is how many of the oldest dirty pages one
+	// log-space reclaim pass flushes before checkpointing. Zero selects
+	// pool/4+1, the historical default; the reclaim is insensitive to the
+	// exact batch as long as it scales with the pool.
+	ReclaimFlushBatch int
 	// UseECC enables sectioned ECC in the OOB area.
 	UseECC bool
+	// BackgroundMaintenance moves buffer cleaning and log-space
+	// reclamation (FlushOldest + fuzzy checkpoint) off the transaction
+	// path onto a dedicated maintenance goroutine — Shore-MT's page
+	// cleaner thread. The default (false) keeps both inline, preserving
+	// the paper's measured semantics. Call Close to stop the goroutine.
+	BackgroundMaintenance bool
 	// Timeline provides simulated time; optional.
 	Timeline *sim.Timeline
 }
@@ -86,6 +97,9 @@ func (o Options) Validate(flashPageSize int) error {
 	}
 	if o.CleanBatch < 0 {
 		return fmt.Errorf("%w: CleanBatch %d", ErrBadOptions, o.CleanBatch)
+	}
+	if o.ReclaimFlushBatch < 0 {
+		return fmt.Errorf("%w: ReclaimFlushBatch %d", ErrBadOptions, o.ReclaimFlushBatch)
 	}
 	return nil
 }
@@ -140,6 +154,18 @@ type DB struct {
 	cleaner     *sim.Worker
 	checkpoints atomic.Uint64
 	reclaims    atomic.Uint64
+
+	// Background maintenance (Options.BackgroundMaintenance): one
+	// goroutine drains maintCh and runs cleaner passes and log-space
+	// reclaims so transaction workers never carry them. maintCh has
+	// capacity 1 — a pending poke already covers later ones.
+	maintCh   chan struct{}
+	maintStop chan struct{}
+	maintWG   sync.WaitGroup
+	closeOnce sync.Once
+
+	maintErrMu sync.Mutex
+	maintErr   error
 }
 
 // router dispatches buffer.Store calls to the page's owning store.
@@ -165,13 +191,17 @@ func (r router) Flush(w *sim.Worker, fr *buffer.Frame) error {
 // place the buffer.Config literal lives, shared by New, ResizePool and
 // SimulateCrash.
 func (db *DB) newPool(frames int) (*buffer.Pool, error) {
-	return buffer.New(buffer.Config{
+	cfg := buffer.Config{
 		Frames:         frames,
 		PageSize:       db.opts.pageSize(),
 		DirtyThreshold: db.opts.DirtyThreshold,
 		CleanBatch:     db.opts.CleanBatch,
 		Cleaner:        db.cleaner,
-	}, router{db})
+	}
+	if db.opts.BackgroundMaintenance {
+		cfg.CleanNotify = db.pokeMaintenance
+	}
+	return buffer.New(cfg, router{db})
 }
 
 // New creates a database over a NoFTL device.
@@ -190,12 +220,96 @@ func New(dev *noftl.Device, opts Options) (*DB, error) {
 	if opts.Timeline != nil {
 		db.cleaner = opts.Timeline.NewWorker()
 	}
+	if opts.BackgroundMaintenance {
+		db.maintCh = make(chan struct{}, 1)
+		db.maintStop = make(chan struct{})
+	}
 	pool, err := db.newPool(opts.BufferFrames)
 	if err != nil {
 		return nil, err
 	}
 	db.pool = pool
+	if opts.BackgroundMaintenance {
+		db.maintWG.Add(1)
+		go db.maintenanceLoop()
+	}
 	return db, nil
+}
+
+// pokeMaintenance wakes the maintenance goroutine without blocking.
+func (db *DB) pokeMaintenance() {
+	if db.maintCh == nil {
+		return
+	}
+	select {
+	case db.maintCh <- struct{}{}:
+	default:
+	}
+}
+
+// maintenanceLoop services pokes from the buffer pool (dirty threshold
+// crossed) and from committers (log past the reclaim threshold).
+func (db *DB) maintenanceLoop() {
+	defer db.maintWG.Done()
+	for {
+		select {
+		case <-db.maintStop:
+			return
+		case <-db.maintCh:
+		}
+		if err := db.maintenancePass(); err != nil {
+			db.maintErrMu.Lock()
+			if db.maintErr == nil {
+				db.maintErr = err
+			}
+			db.maintErrMu.Unlock()
+		}
+	}
+}
+
+// maintenancePass is one background round: a cleaner pass, then — if the
+// log is past the reclaim threshold — a FlushOldest batch and a fuzzy
+// checkpoint, exactly what maybeReclaim does inline in foreground mode.
+func (db *DB) maintenancePass() error {
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	if db.inRecovery {
+		return nil
+	}
+	w := db.cleaner
+	if err := db.pool.CleanerPass(w); err != nil {
+		return err
+	}
+	if db.log.Capacity() == 0 || db.log.Usage() <= db.opts.reclaimThreshold() {
+		return nil
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	if db.log.Usage() <= db.opts.reclaimThreshold() {
+		return nil
+	}
+	db.reclaims.Add(1)
+	if _, err := db.pool.FlushOldest(w, db.reclaimBatch()); err != nil {
+		return err
+	}
+	return db.checkpointLocked(w)
+}
+
+// Close stops the background maintenance goroutine (no-op without
+// Options.BackgroundMaintenance) and returns the first error it hit.
+// The instance stays usable afterwards — pending maintenance simply
+// falls back to the eviction and flush paths — so Close is a shutdown
+// courtesy, not a lifecycle requirement. Idempotent.
+func (db *DB) Close() error {
+	db.closeOnce.Do(func() {
+		if db.maintStop != nil {
+			close(db.maintStop)
+			db.maintWG.Wait()
+		}
+	})
+	db.maintErrMu.Lock()
+	defer db.maintErrMu.Unlock()
+	return db.maintErr
 }
 
 // Log exposes the write-ahead log.
@@ -290,6 +404,10 @@ func (db *DB) maybeReclaim(w *sim.Worker) error {
 	if db.log.Capacity() == 0 || db.log.Usage() <= db.opts.reclaimThreshold() {
 		return nil
 	}
+	if db.opts.BackgroundMaintenance {
+		db.pokeMaintenance()
+		return nil
+	}
 	if !db.ckptMu.TryLock() {
 		return nil // a reclaim/checkpoint is already running
 	}
@@ -304,10 +422,19 @@ func (db *DB) maybeReclaim(w *sim.Worker) error {
 	} else if w != nil {
 		cw.SetNow(w.Now())
 	}
-	if _, err := db.pool.FlushOldest(cw, db.pool.Size()/4+1); err != nil {
+	if _, err := db.pool.FlushOldest(cw, db.reclaimBatch()); err != nil {
 		return err
 	}
 	return db.checkpointLocked(w)
+}
+
+// reclaimBatch resolves Options.ReclaimFlushBatch against the current
+// pool size. Caller holds stateMu shared.
+func (db *DB) reclaimBatch() int {
+	if b := db.opts.ReclaimFlushBatch; b > 0 {
+		return b
+	}
+	return db.pool.Size()/4 + 1
 }
 
 // Checkpoint takes a fuzzy checkpoint and truncates the log.

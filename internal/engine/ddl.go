@@ -152,6 +152,16 @@ func (db *DB) execCreateRegion(name string, opts map[string]string) error {
 		}
 		rc.OverProvision = pct / 100
 	}
+	if v, ok := opts["GC"]; ok {
+		switch strings.ToLower(v) {
+		case "foreground", "inline":
+			rc.GCPolicy = noftl.GCForeground
+		case "background":
+			rc.GCPolicy = noftl.GCBackground
+		default:
+			return fmt.Errorf("engine: unknown GC %q (want FOREGROUND or BACKGROUND)", v)
+		}
+	}
 	if _, err := db.dev.CreateRegion(rc); err != nil {
 		return err
 	}

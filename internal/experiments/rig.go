@@ -52,6 +52,11 @@ type Spec struct {
 	Terminals int
 	Seed      int64
 	UseECC    bool
+	// GCPolicy selects the region's garbage-collection mode. The zero
+	// value (noftl.GCForeground) keeps the paper's deterministic inline
+	// collection; GCBackground is for interference studies only and makes
+	// runs schedule-dependent.
+	GCPolicy noftl.GCPolicy
 }
 
 func (s Spec) withDefaults() Spec {
@@ -177,9 +182,11 @@ func Execute(s Spec) (*Out, error) {
 	if _, err := dev.CreateRegion(noftl.RegionConfig{
 		Name: "data", Mode: s.Mode, Scheme: s.Scheme,
 		BlocksPerChip: blocksPerChip, OverProvision: 0.10,
+		GCPolicy: s.GCPolicy,
 	}); err != nil {
 		return nil, err
 	}
+	defer dev.Close()
 
 	opts := engine.Options{
 		PageSize: s.PageSize, BufferFrames: pages + 64,

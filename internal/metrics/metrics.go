@@ -217,6 +217,31 @@ func (l *Latency) Quantile(q float64) time.Duration {
 	return l.max
 }
 
+// Merge folds another recorder's observations into l. Benchmarks give
+// each worker its own recorder (no shared lock on the timed path) and
+// merge afterwards.
+func (l *Latency) Merge(o *Latency) {
+	o.mu.Lock()
+	count, sum, min, max, buckets := o.count, o.sum, o.min, o.max, o.buckets
+	o.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 || min < l.min {
+		l.min = min
+	}
+	if max > l.max {
+		l.max = max
+	}
+	l.count += count
+	l.sum += sum
+	for i := range buckets {
+		l.buckets[i] += buckets[i]
+	}
+}
+
 // Reset clears all observations.
 func (l *Latency) Reset() {
 	l.mu.Lock()

@@ -1,0 +1,146 @@
+package noftl
+
+// The per-chip free pool and victim queue are intrusive binary min-heaps
+// over *blockMeta, replacing the O(blocks) linear scans the old
+// popFreeLocked and victim selection performed under the region mutex.
+// Both comparators tie-break on block id so the heap minimum is exactly
+// the block the old scans chose: foreground-mode GC stays bit-identical
+// with the pre-shard implementation (the paper's Tables/Figs depend on
+// that determinism).
+//
+// The heaps are manipulated only with the owning chip's lock held, so
+// they need no synchronisation of their own. container/heap is avoided
+// deliberately: its interface boxes every operation through dynamic
+// dispatch, and these five small functions are the entire requirement.
+
+// freeLess orders the free pool by erase count at push time (wear-aware
+// free-block selection), then block id. A free block's erase count
+// cannot change while it sits in the pool — erases happen only to
+// occupied victims — so the snapshot taken at push time is always
+// current.
+func freeLess(a, b *blockMeta) bool {
+	if a.eraseSnap != b.eraseSnap {
+		return a.eraseSnap < b.eraseSnap
+	}
+	return a.id < b.id
+}
+
+// victimLess orders the victim queue greedily: fewest valid pages first
+// (minimum migration cost per reclaimed block), then block id.
+func victimLess(a, b *blockMeta) bool {
+	if a.valid != b.valid {
+		return a.valid < b.valid
+	}
+	return a.id < b.id
+}
+
+// blockHeap is a min-heap of blocks. less picks the ordering; setIdx
+// writes the block's heap position back into the blockMeta (freeIdx or
+// victIdx) so removal and re-ordering are O(log n) without searching.
+type blockHeap struct {
+	items  []*blockMeta
+	less   func(a, b *blockMeta) bool
+	setIdx func(bm *blockMeta, i int)
+}
+
+func (h *blockHeap) len() int { return len(h.items) }
+
+func (h *blockHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.setIdx(h.items[i], i)
+	h.setIdx(h.items[j], j)
+}
+
+func (h *blockHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *blockHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			return
+		}
+		min := l
+		if r < n && h.less(h.items[r], h.items[l]) {
+			min = r
+		}
+		if !h.less(h.items[min], h.items[i]) {
+			return
+		}
+		h.swap(i, min)
+		i = min
+	}
+}
+
+// push inserts bm and records its position via setIdx.
+func (h *blockHeap) push(bm *blockMeta) {
+	h.items = append(h.items, bm)
+	h.setIdx(bm, len(h.items)-1)
+	h.up(len(h.items) - 1)
+}
+
+// pop removes and returns the minimum, or nil when empty.
+func (h *blockHeap) pop() *blockMeta {
+	if len(h.items) == 0 {
+		return nil
+	}
+	min := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.setIdx(h.items[0], 0)
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	h.setIdx(min, -1)
+	return min
+}
+
+// peek returns the minimum without removing it, or nil.
+func (h *blockHeap) peek() *blockMeta {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+// remove deletes the element at position i (taken from the blockMeta's
+// stored index).
+func (h *blockHeap) remove(i int) {
+	last := len(h.items) - 1
+	bm := h.items[i]
+	if i != last {
+		h.items[i] = h.items[last]
+		h.setIdx(h.items[i], i)
+	}
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if i < last {
+		h.fix(i)
+	}
+	h.setIdx(bm, -1)
+}
+
+// fix restores the heap order around position i after its key changed.
+func (h *blockHeap) fix(i int) {
+	h.up(i)
+	h.down(i)
+}
+
+// reset empties the heap (rebuild support).
+func (h *blockHeap) reset() {
+	for i := range h.items {
+		h.items[i] = nil
+	}
+	h.items = h.items[:0]
+}

@@ -8,17 +8,36 @@
 //     applied selectively per database object;
 //   - page-level logical→physical mapping with out-of-place writes;
 //   - a greedy garbage collector with page migrations and wear-aware
-//     free-block selection;
+//     free-block selection, runnable inline (foreground, the paper's
+//     measured configuration) or as one background collector per chip;
 //   - the paper's write_delta I/O command (Sec. 7), which appends a
 //     delta-record to the very same physical flash page a database page
 //     resides on.
+//
+// # Concurrency
+//
+// The region is sharded per chip: every chip has its own chipState with
+// its own lock, active block, free-block heap, victim heap and reverse
+// map, so allocation and garbage collection on one chip never contend
+// with I/O on another. The logical→physical map is split over 64
+// RWMutex-guarded shards keyed by page id. Lock ordering is strict:
+// a chip lock may be taken while holding no lock, and a map-shard lock
+// only while holding at most one chip lock; no two chip locks are ever
+// held together (cross-chip work is deferred until the first lock is
+// dropped). Flash I/O for a page happens under its chip's lock — that is
+// what serialises programs into an active block (StrictProgramOrder) and
+// keeps erases from racing reads.
+//
+// Lock-free lookups (PPNOf, the entry of Read/Write) are validated after
+// the chip lock is acquired: if GC migrated the page meanwhile, the
+// operation retries against the new location.
 package noftl
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ipa/internal/core"
@@ -69,6 +88,32 @@ func (m IPAMode) String() string {
 	}
 }
 
+// GCPolicy selects when a region's garbage collector runs.
+type GCPolicy int
+
+const (
+	// GCForeground collects inline in the writing thread when a chip's
+	// free pool reaches the reserve — the interference the paper measures,
+	// and fully deterministic under a sequential workload. The default.
+	GCForeground GCPolicy = iota
+	// GCBackground runs one collector goroutine per chip, woken at the
+	// soft free-block watermark so writers almost never collect inline.
+	// Writers throttle at the hard reserve and receive ErrNoSpace only
+	// when the collector cannot reclaim anything at all.
+	GCBackground
+)
+
+func (p GCPolicy) String() string {
+	switch p {
+	case GCForeground:
+		return "foreground"
+	case GCBackground:
+		return "background"
+	default:
+		return fmt.Sprintf("GCPolicy(%d)", int(p))
+	}
+}
+
 // RegionConfig mirrors the paper's CREATE REGION statement (Figure 3).
 type RegionConfig struct {
 	Name   string
@@ -91,6 +136,15 @@ type RegionConfig struct {
 	// coldest block's content is migrated so the under-worn block joins
 	// the free pool. Zero disables static wear leveling.
 	WearDelta int
+	// GCPolicy selects foreground (inline, deterministic) or background
+	// (per-chip collector goroutines) garbage collection. The zero value
+	// is GCForeground, preserving the paper-experiment semantics.
+	GCPolicy GCPolicy
+	// GCSoftWater is the per-chip free-block level at which a background
+	// collector is woken, giving it a head start before writers reach the
+	// hard reserve. Zero (or any value <= the reserve) selects
+	// gcReserve()+2. Ignored under GCForeground.
+	GCSoftWater int
 }
 
 func (rc RegionConfig) overProvision() float64 {
@@ -110,6 +164,13 @@ func (rc RegionConfig) gcReserve() int {
 	return rc.GCReserve
 }
 
+func (rc RegionConfig) softWater() int {
+	if rc.GCSoftWater > rc.gcReserve() {
+		return rc.GCSoftWater
+	}
+	return rc.gcReserve() + 2
+}
+
 // Stats are the per-region counters the paper reports.
 type Stats struct {
 	HostReads        uint64 // logical page reads
@@ -119,6 +180,15 @@ type Stats struct {
 	GCErases         uint64 // block erases by the collector
 	WLMigrations     uint64 // pages moved by static wear leveling
 	WLErases         uint64 // erases performed by static wear leveling
+
+	// Background-GC visibility: BGPageMigrations/BGErases are the subset
+	// of GCPageMigrations/GCErases performed by background collectors;
+	// GCStalls counts writer throttle episodes at the hard reserve and
+	// GCStallTime the wall-clock time spent in them.
+	BGPageMigrations uint64
+	BGErases         uint64
+	GCStalls         uint64
+	GCStallTime      time.Duration
 
 	// Latency sums (simulated) for response-time reporting.
 	ReadTime  time.Duration
@@ -156,14 +226,126 @@ func (s Stats) ErasesPerHostWrite() float64 {
 	return float64(s.GCErases) / float64(s.HostWrites())
 }
 
-// blockMeta tracks the collector-relevant state of one erase unit.
+func (s *Stats) add(o Stats) {
+	s.HostReads += o.HostReads
+	s.OutOfPlaceWrites += o.OutOfPlaceWrites
+	s.DeltaWrites += o.DeltaWrites
+	s.GCPageMigrations += o.GCPageMigrations
+	s.GCErases += o.GCErases
+	s.WLMigrations += o.WLMigrations
+	s.WLErases += o.WLErases
+	s.BGPageMigrations += o.BGPageMigrations
+	s.BGErases += o.BGErases
+	s.GCStalls += o.GCStalls
+	s.GCStallTime += o.GCStallTime
+	s.ReadTime += o.ReadTime
+	s.WriteTime += o.WriteTime
+	s.DeltaTime += o.DeltaTime
+	s.GCTime += o.GCTime
+}
+
+// blockMeta tracks the collector-relevant state of one erase unit. All
+// fields are guarded by the owning chip's lock. Every block is in
+// exactly one of four states: in the free pool, the chip's active block,
+// in the victim heap, or being evacuated (collecting).
 type blockMeta struct {
-	id     int // global block index
-	chip   int
-	valid  int  // valid pages currently stored
-	active bool // current write point of its chip
-	free   bool // erased and unassigned
-	next   int  // next usable page slot index (not PPN) within the block
+	id         int // global block index
+	chip       int
+	valid      int  // valid pages currently stored
+	next       int  // next usable page slot index (not PPN) within the block
+	active     bool // current write point of its chip
+	free       bool // erased, in the free pool
+	collecting bool // being evacuated by GC or the wear leveler
+
+	eraseSnap uint32 // erase count at free-pool push (heap key; see freeLess)
+	freeIdx   int    // position in the chip's free heap, -1 when absent
+	victIdx   int    // position in the chip's victim heap, -1 when absent
+}
+
+// chipState is one chip's shard of the region: write point, block
+// bookkeeping, reverse map and stats cell, all guarded by mu.
+type chipState struct {
+	chip int
+
+	mu sync.Mutex
+
+	blocks   []*blockMeta // the chip's blocks, ascending id (immutable slice)
+	freePool blockHeap    // erased blocks, min (eraseSnap, id)
+	victims  blockHeap    // occupied non-active blocks, min (valid, id)
+	active   *blockMeta   // current write point, nil between blocks
+	// migTarget is the dedicated migration destination of background-policy
+	// regions (nil in foreground regions, which migrate into the active
+	// block). Keeping collector traffic off the active block means writers
+	// filling it during a collection's lock-yield gaps cannot drain the
+	// reserve the collector itself needs to finish.
+	migTarget *blockMeta
+	reverse   map[flash.PPN]core.PageID
+
+	// exhausted latches a failed collection so the background collector
+	// parks instead of spinning on an unreclaimable chip; any page
+	// invalidation (or a later successful collect) clears it.
+	exhausted bool
+	wake      chan struct{} // collector doorbell, cap 1
+
+	stats Stats
+
+	// Migration scratch: page moves inside the collector re-read into
+	// these instead of allocating two slices per migrated page.
+	migData []byte
+	migOOB  []byte
+}
+
+func (cs *chipState) freeLen() int { return cs.freePool.len() }
+
+// pushFree returns an erased block to the pool.
+func (cs *chipState) pushFree(bm *blockMeta, eraseCount uint32) {
+	bm.free = true
+	bm.eraseSnap = eraseCount
+	cs.freePool.push(bm)
+}
+
+// popFree removes and returns the free block with the lowest erase count
+// (wear-aware selection), or nil.
+func (cs *chipState) popFree() *blockMeta {
+	bm := cs.freePool.pop()
+	if bm != nil {
+		bm.free = false
+	}
+	return bm
+}
+
+func (cs *chipState) addVictim(bm *blockMeta) { cs.victims.push(bm) }
+
+func (cs *chipState) removeVictim(bm *blockMeta) {
+	if bm.victIdx >= 0 {
+		cs.victims.remove(bm.victIdx)
+	}
+}
+
+// fixVictim restores heap order after bm.valid changed. No-op for blocks
+// not in the victim heap (free, active or collecting).
+func (cs *chipState) fixVictim(bm *blockMeta) {
+	if bm.victIdx >= 0 {
+		cs.victims.fix(bm.victIdx)
+	}
+}
+
+func (cs *chipState) migBuffers(g flash.Geometry) (data, oob []byte) {
+	if cs.migData == nil {
+		cs.migData = make([]byte, g.PageSize)
+		cs.migOOB = make([]byte, g.OOBSize)
+	}
+	return cs.migData, cs.migOOB
+}
+
+// mapShards is the fan-out of the logical→physical map. 64 shards keep
+// the per-shard RWMutex essentially uncontended at 16 workers while the
+// whole array stays small enough to embed in the Region.
+const mapShards = 64
+
+type mapShard struct {
+	mu sync.RWMutex
+	m  map[core.PageID]flash.PPN
 }
 
 // Region is a slice of the device with its own IPA mode, mapping and
@@ -172,23 +354,19 @@ type Region struct {
 	dev *Device
 	cfg RegionConfig
 
-	mu      sync.Mutex
-	mapping map[core.PageID]flash.PPN
-	reverse map[flash.PPN]core.PageID
-	blocks  map[int]*blockMeta // by global block id
-	byChip  map[int][]*blockMeta
-	freeCnt map[int]int        // free blocks per chip
-	active  map[int]*blockMeta // write point per chip
-	rr      int                // round-robin chip cursor for new pages
-	chips   []int
-	stats   Stats
-	logical int // logical page capacity
+	chips      []int
+	byChip     []*chipState       // indexed by global chip id; nil outside the region
+	blockIndex map[int]*blockMeta // by global block id; read-only after creation
 
-	// Migration scratch (guarded by mu, like all GC state): page moves
-	// inside collectLocked/maybeLevelLocked re-read into these instead of
-	// allocating two slices per migrated page.
-	migData []byte
-	migOOB  []byte
+	maps    [mapShards]mapShard
+	mapped  atomic.Int64  // current mapping size (logical-capacity accounting)
+	rr      atomic.Uint64 // round-robin cursor for placing new pages
+	logical int           // logical page capacity
+
+	// Background-GC lifecycle (nil/unused under GCForeground).
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
 }
 
 // Device owns the flash array and hands out regions.
@@ -225,7 +403,23 @@ func (d *Device) Region(name string) *Region {
 	return d.regions[name]
 }
 
-// CreateRegion carves a new region out of unassigned blocks.
+// Close stops the background collectors of every region (see
+// Region.Close). Safe to call more than once.
+func (d *Device) Close() {
+	d.mu.Lock()
+	regs := make([]*Region, 0, len(d.regions))
+	for _, r := range d.regions {
+		regs = append(regs, r)
+	}
+	d.mu.Unlock()
+	for _, r := range regs {
+		r.Close()
+	}
+}
+
+// CreateRegion carves a new region out of unassigned blocks. Under
+// GCBackground it also starts one collector goroutine per chip; call
+// Region.Close (or Device.Close) to stop them.
 func (d *Device) CreateRegion(rc RegionConfig) (*Region, error) {
 	if err := rc.Scheme.Validate(); err != nil {
 		return nil, err
@@ -261,34 +455,49 @@ func (d *Device) CreateRegion(rc RegionConfig) (*Region, error) {
 		}
 	}
 	r := &Region{
-		dev:     d,
-		cfg:     rc,
-		mapping: make(map[core.PageID]flash.PPN),
-		reverse: make(map[flash.PPN]core.PageID),
-		blocks:  make(map[int]*blockMeta),
-		byChip:  make(map[int][]*blockMeta),
-		freeCnt: make(map[int]int),
-		active:  make(map[int]*blockMeta),
-		chips:   append([]int(nil), chips...),
+		dev:        d,
+		cfg:        rc,
+		chips:      append([]int(nil), chips...),
+		byChip:     make([]*chipState, d.geom.Chips),
+		blockIndex: make(map[int]*blockMeta),
+	}
+	for i := range r.maps {
+		r.maps[i].m = make(map[core.PageID]flash.PPN)
 	}
 	physPages := 0
 	for _, c := range chips {
+		cs := newChipState(c)
 		for i := 0; i < rc.BlocksPerChip; i++ {
 			gid := c*d.geom.BlocksPerChip + d.nextBlock[c] + i
-			bm := &blockMeta{id: gid, chip: c, free: true}
-			r.blocks[gid] = bm
-			r.byChip[c] = append(r.byChip[c], bm)
-			r.freeCnt[c]++
+			bm := &blockMeta{id: gid, chip: c, freeIdx: -1, victIdx: -1}
+			cs.blocks = append(cs.blocks, bm)
+			r.blockIndex[gid] = bm
+			cs.pushFree(bm, d.arr.EraseCount(gid))
 			physPages += r.usablePagesPerBlock()
 		}
 		d.nextBlock[c] += rc.BlocksPerChip
+		r.byChip[c] = cs
 	}
 	r.logical = int(float64(physPages) * (1 - rc.overProvision()))
 	if r.logical < 1 {
 		return nil, fmt.Errorf("noftl: region %q has no logical capacity", rc.Name)
 	}
 	d.regions[rc.Name] = r
+	if rc.GCPolicy == GCBackground {
+		r.startCollectors()
+	}
 	return r, nil
+}
+
+func newChipState(chip int) *chipState {
+	cs := &chipState{
+		chip:    chip,
+		reverse: make(map[flash.PPN]core.PageID),
+		wake:    make(chan struct{}, 1),
+	}
+	cs.freePool = blockHeap{less: freeLess, setIdx: func(bm *blockMeta, i int) { bm.freeIdx = i }}
+	cs.victims = blockHeap{less: victimLess, setIdx: func(bm *blockMeta, i int) { bm.victIdx = i }}
+	return cs
 }
 
 // usablePagesPerBlock accounts for pSLC halving.
@@ -324,60 +533,76 @@ func (r *Region) Mode() IPAMode { return r.cfg.Mode }
 // Scheme returns the region's [N×M] scheme.
 func (r *Region) Scheme() core.Scheme { return r.cfg.Scheme }
 
+// GCPolicy returns the region's garbage-collection policy.
+func (r *Region) GCPolicy() GCPolicy { return r.cfg.GCPolicy }
+
 // LogicalCapacity is the number of logical pages the region can map.
 func (r *Region) LogicalCapacity() int { return r.logical }
 
 // MappedPages returns the number of currently mapped logical pages.
-func (r *Region) MappedPages() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.mapping)
-}
+func (r *Region) MappedPages() int { return int(r.mapped.Load()) }
 
-// Stats returns a snapshot of the region counters.
+// Stats returns a snapshot of the region counters, summed over the
+// chip shards. Shards are read one at a time, so the totals are not a
+// single atomic cut — same contract as flash.Array.Stats.
 func (r *Region) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	var total Stats
+	for _, c := range r.chips {
+		cs := r.byChip[c]
+		cs.mu.Lock()
+		total.add(cs.stats)
+		cs.mu.Unlock()
+	}
+	return total
 }
 
 // ResetStats zeroes the region counters.
 func (r *Region) ResetStats() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.stats = Stats{}
+	for _, c := range r.chips {
+		cs := r.byChip[c]
+		cs.mu.Lock()
+		cs.stats = Stats{}
+		cs.mu.Unlock()
+	}
+}
+
+func (r *Region) mapShardOf(id core.PageID) *mapShard {
+	return &r.maps[uint64(id)&(mapShards-1)]
+}
+
+// lookup reads the current mapping of a logical page without any chip
+// lock. The result may be stale by the time the caller acts on it;
+// mutating paths revalidate under the owning chip's lock.
+func (r *Region) lookup(id core.PageID) (flash.PPN, bool) {
+	ms := r.mapShardOf(id)
+	ms.mu.RLock()
+	p, ok := ms.m[id]
+	ms.mu.RUnlock()
+	return p, ok
+}
+
+func (r *Region) chipOf(ppn flash.PPN) *chipState {
+	return r.byChip[r.dev.geom.ChipOf(ppn)]
 }
 
 // Contains reports whether the logical page is mapped in this region.
 func (r *Region) Contains(id core.PageID) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	_, ok := r.mapping[id]
+	_, ok := r.lookup(id)
 	return ok
 }
 
 // PPNOf returns the current physical location of a logical page.
 func (r *Region) PPNOf(id core.PageID) (flash.PPN, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	p, ok := r.mapping[id]
-	return p, ok
+	return r.lookup(id)
 }
 
 // Read fetches the logical page's data and OOB area.
 func (r *Region) Read(w *sim.Worker, id core.PageID) (data, oob []byte, err error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	ppn, ok := r.mapping[id]
-	if !ok {
-		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownPage, id)
-	}
-	r.stats.HostReads++
-	data, oob, lat, err := r.dev.arr.Read(w, ppn)
-	if err != nil {
+	data = make([]byte, r.dev.geom.PageSize)
+	oob = make([]byte, r.dev.geom.OOBSize)
+	if err := r.ReadInto(w, id, data, oob); err != nil {
 		return nil, nil, err
 	}
-	r.stats.ReadTime += lat
 	return data, oob, nil
 }
 
@@ -386,78 +611,190 @@ func (r *Region) Read(w *sim.Worker, id core.PageID) (data, oob []byte, err erro
 // transfer. This is the allocation-free twin of Read used by the buffer
 // pool's steady-state fetch path.
 func (r *Region) ReadInto(w *sim.Worker, id core.PageID, data, oob []byte) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	ppn, ok := r.mapping[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
-	}
-	r.stats.HostReads++
-	lat, err := r.dev.arr.ReadInto(w, ppn, data, oob)
-	if err != nil {
+	for {
+		ppn, ok := r.lookup(id)
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+		}
+		cs := r.chipOf(ppn)
+		cs.mu.Lock()
+		if cur, ok := r.lookup(id); !ok || cur != ppn {
+			// Migrated (or freed) between lookup and lock: retry against
+			// the new location.
+			cs.mu.Unlock()
+			continue
+		}
+		cs.stats.HostReads++
+		lat, err := r.dev.arr.ReadInto(w, ppn, data, oob)
+		if err == nil {
+			cs.stats.ReadTime += lat
+		}
+		cs.mu.Unlock()
 		return err
 	}
-	r.stats.ReadTime += lat
-	return nil
-}
-
-// migBuffers returns the region's migration scratch buffers, sized on
-// first use. Callers hold r.mu.
-func (r *Region) migBuffers() (data, oob []byte) {
-	if r.migData == nil {
-		r.migData = make([]byte, r.dev.geom.PageSize)
-		r.migOOB = make([]byte, r.dev.geom.OOBSize)
-	}
-	return r.migData, r.migOOB
 }
 
 // Write stores a full logical page out-of-place: the page is programmed
 // at the region's write point and any previous version is invalidated.
-// Garbage collection runs foreground when free space is low, exactly the
-// interference the paper measures.
+// Under GCForeground, garbage collection runs inline when free space is
+// low — exactly the interference the paper measures; under GCBackground
+// the per-chip collector is woken instead and the writer only throttles
+// at the hard reserve.
 func (r *Region) Write(w *sim.Worker, id core.PageID, data, oob []byte) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	prev, existed := r.mapping[id]
-	if !existed && len(r.mapping) >= r.logical {
-		return fmt.Errorf("%w: %q at %d pages", ErrRegionFull, r.cfg.Name, r.logical)
+	prev, existed := r.lookup(id)
+	if !existed {
+		if r.mapped.Add(1) > int64(r.logical) {
+			r.mapped.Add(-1)
+			return fmt.Errorf("%w: %q at %d pages", ErrRegionFull, r.cfg.Name, r.logical)
+		}
 	}
-	chip := r.chips[r.rr%len(r.chips)]
-	r.rr++
+	seq := r.rr.Add(1) - 1
+	start := int(seq % uint64(len(r.chips)))
+	chip := r.chips[start]
 	if existed {
 		chip = r.dev.geom.ChipOf(prev) // keep a page on its chip for locality
 	}
-	ppn, err := r.allocLocked(w, chip)
+	cs := r.byChip[chip]
+	cs.mu.Lock()
+	ppn, err := r.allocLocked(w, cs)
 	if err != nil {
-		return err
-	}
-	// Invalidate the old version after successful allocation. Re-read the
-	// mapping: garbage collection inside allocLocked may have migrated the
-	// previous copy, making the earlier lookup stale.
-	if existed {
-		if cur, ok := r.mapping[id]; ok {
-			r.invalidateLocked(cur)
+		// The chosen chip cannot allocate: its share of the region is
+		// packed full of valid pages. Physical pools are per chip but
+		// capacity is a region-wide promise, and churn makes per-chip
+		// load drift (frees are not round-robin), so fail over to the
+		// remaining chips before surfacing the error.
+		cs.mu.Unlock()
+		ppn, cs, err = r.allocFailover(w, chip, start, err)
+		if err != nil {
+			if !existed {
+				r.mapped.Add(-1)
+			}
+			return err
 		}
 	}
-	r.mapping[id] = ppn
-	r.reverse[ppn] = id
-	r.blocks[r.dev.geom.BlockOf(ppn)].valid++
-	r.stats.OutOfPlaceWrites++
-	lat, err := r.dev.arr.Program(w, ppn, data, oob)
-	if err != nil {
-		return fmt.Errorf("noftl: program page %d at ppn %d: %w", id, ppn, err)
+	// Install the new mapping and retire the previous copy. The lookup
+	// above may be stale: GC can have migrated the previous copy, and a
+	// racing Free/first-write can have removed or created the entry. The
+	// map shard is re-read under its lock and the capacity counter is
+	// settled against what is actually replaced.
+	var staleCross flash.PPN
+	dropCross := false
+	ms := r.mapShardOf(id)
+	ms.mu.Lock()
+	cur, had := ms.m[id]
+	ms.m[id] = ppn
+	ms.mu.Unlock()
+	if had {
+		if !existed {
+			// Two first-writes raced; the entry is already counted.
+			r.mapped.Add(-1)
+		}
+		if r.dev.geom.ChipOf(cur) == cs.chip {
+			r.invalidateLocked(cs, cur)
+		} else {
+			// The previous copy lives on another chip (the loser of a
+			// racing pair of first-writes). Chip locks never nest: drop
+			// it after releasing this one.
+			staleCross, dropCross = cur, true
+		}
+	} else if existed {
+		// Raced with Free: the entry is being re-created.
+		r.mapped.Add(1)
 	}
-	r.stats.WriteTime += lat
+	cs.reverse[ppn] = id
+	r.bumpValidLocked(cs, ppn)
+	cs.stats.OutOfPlaceWrites++
+	lat, perr := r.dev.arr.Program(w, ppn, data, oob)
+	if perr == nil {
+		cs.stats.WriteTime += lat
+	}
+	cs.mu.Unlock()
+	if dropCross {
+		r.dropStaleCopy(staleCross, id)
+	}
+	if perr != nil {
+		return fmt.Errorf("noftl: program page %d at ppn %d: %w", id, ppn, perr)
+	}
 	return nil
+}
+
+// allocFailover retries allocation on every chip of the region except
+// the one already tried, in round-robin order from the write's original
+// cursor position. On success it returns with the winning chip's lock
+// held (the caller installs the mapping and unlocks).
+//
+// Under background GC a failed sweep is usually transient, not terminal:
+// in-flight collections hold their victims off the heaps and chips sit
+// at the reserve floor until an erase lands, so the sweep is repeated
+// with short real-time sleeps — the collectors run on their own
+// goroutines and need wall-clock time, not a condition variable, to make
+// progress (sleeping writers can never deadlock; parked ones can). Only
+// when repeated sweeps stay empty is the first chip's error surfaced.
+func (r *Region) allocFailover(w *sim.Worker, tried, start int, firstErr error) (flash.PPN, *chipState, error) {
+	const maxRounds = 400 // * 50µs: ~20ms of grace before ErrNoSpace
+	for round := 0; ; round++ {
+		for i := 0; i < len(r.chips); i++ {
+			c := r.chips[(start+i)%len(r.chips)]
+			if round == 0 && c == tried {
+				continue
+			}
+			cs := r.byChip[c]
+			cs.mu.Lock()
+			ppn, err := r.allocLocked(w, cs)
+			if err == nil {
+				return ppn, cs, nil
+			}
+			cs.mu.Unlock()
+		}
+		if !r.backgroundOn() || round >= maxRounds {
+			return 0, nil, firstErr
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// bumpValidLocked counts a new valid page on ppn's block (the caller
+// holds the owning chip's lock).
+func (r *Region) bumpValidLocked(cs *chipState, ppn flash.PPN) {
+	bm := r.blockIndex[r.dev.geom.BlockOf(ppn)]
+	bm.valid++
+	cs.fixVictim(bm)
+}
+
+// invalidateLocked retires one physical copy on cs's chip: the block
+// loses a valid page (re-ordering the victim heap) and the reverse entry
+// disappears. Clearing exhausted lets a parked collector try again — an
+// invalidation is precisely what creates a collectable victim.
+func (r *Region) invalidateLocked(cs *chipState, ppn flash.PPN) {
+	if bm := r.blockIndex[r.dev.geom.BlockOf(ppn)]; bm != nil && bm.valid > 0 {
+		bm.valid--
+		cs.fixVictim(bm)
+	}
+	delete(cs.reverse, ppn)
+	cs.exhausted = false
+	if r.backgroundOn() && cs.freeLen() <= r.cfg.softWater() {
+		r.wakeCollector(cs)
+	}
+}
+
+// dropStaleCopy invalidates a copy of id on a chip other than the one
+// that just wrote it, unless the mapping moved back there meanwhile.
+func (r *Region) dropStaleCopy(ppn flash.PPN, id core.PageID) {
+	cs := r.chipOf(ppn)
+	cs.mu.Lock()
+	if got, ok := cs.reverse[ppn]; ok && got == id {
+		if cur, ok := r.lookup(id); !ok || cur != ppn {
+			r.invalidateLocked(cs, ppn)
+		}
+	}
+	cs.mu.Unlock()
 }
 
 // CanAppend reports whether the logical page's current physical location
 // accepts a write_delta (mode allows it, page is an LSB page, and the
 // chip's re-program budget is not exhausted).
 func (r *Region) CanAppend(id core.PageID) bool {
-	r.mu.Lock()
-	ppn, ok := r.mapping[id]
-	r.mu.Unlock()
+	ppn, ok := r.lookup(id)
 	if !ok {
 		return false
 	}
@@ -484,285 +821,156 @@ func (r *Region) maxAppends() int {
 // per-record ECC can be appended alongside (Sec. 6.2). The delta is
 // ISPP-programmed onto the page's current physical location.
 func (r *Region) WriteDelta(w *sim.Worker, id core.PageID, off int, delta []byte, oobOff int, oobDelta []byte) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	ppn, ok := r.mapping[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	for {
+		ppn, ok := r.lookup(id)
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+		}
+		if r.cfg.Mode == ModeNone {
+			return fmt.Errorf("%w: region %q has IPA disabled", ErrNotAppendable, r.cfg.Name)
+		}
+		if r.cfg.Mode == ModeOddMLC && !r.dev.geom.IsLSB(ppn) {
+			return fmt.Errorf("%w: page %d resides on an MSB page", ErrNotAppendable, id)
+		}
+		cs := r.chipOf(ppn)
+		cs.mu.Lock()
+		if cur, ok := r.lookup(id); !ok || cur != ppn {
+			cs.mu.Unlock()
+			continue
+		}
+		lat, err := r.dev.arr.ProgramDelta(w, ppn, off, delta, oobOff, oobDelta)
+		if err == nil {
+			cs.stats.DeltaWrites++
+			cs.stats.DeltaTime += lat
+		}
+		cs.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("noftl: write_delta page %d: %w", id, err)
+		}
+		return nil
 	}
-	if r.cfg.Mode == ModeNone {
-		return fmt.Errorf("%w: region %q has IPA disabled", ErrNotAppendable, r.cfg.Name)
-	}
-	if r.cfg.Mode == ModeOddMLC && !r.dev.geom.IsLSB(ppn) {
-		return fmt.Errorf("%w: page %d resides on an MSB page", ErrNotAppendable, id)
-	}
-	lat, err := r.dev.arr.ProgramDelta(w, ppn, off, delta, oobOff, oobDelta)
-	if err != nil {
-		return fmt.Errorf("noftl: write_delta page %d: %w", id, err)
-	}
-	r.stats.DeltaWrites++
-	r.stats.DeltaTime += lat
-	return nil
 }
 
 // Refresh performs a Correct-and-Refresh re-program of the logical
 // page's current physical location with the (ECC-corrected) image —
 // restoring leaked charge without relocating the page (Sec. 2.3).
 func (r *Region) Refresh(w *sim.Worker, id core.PageID, data, oob []byte) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	ppn, ok := r.mapping[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	for {
+		ppn, ok := r.lookup(id)
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+		}
+		cs := r.chipOf(ppn)
+		cs.mu.Lock()
+		if cur, ok := r.lookup(id); !ok || cur != ppn {
+			cs.mu.Unlock()
+			continue
+		}
+		_, err := r.dev.arr.Reprogram(w, ppn, data, oob)
+		cs.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("noftl: refresh page %d: %w", id, err)
+		}
+		return nil
 	}
-	if _, err := r.dev.arr.Reprogram(w, ppn, data, oob); err != nil {
-		return fmt.Errorf("noftl: refresh page %d: %w", id, err)
-	}
-	return nil
 }
 
 // Free unmaps a logical page, invalidating its physical copy.
 func (r *Region) Free(id core.PageID) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	ppn, ok := r.mapping[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+	for {
+		ppn, ok := r.lookup(id)
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownPage, id)
+		}
+		cs := r.chipOf(ppn)
+		cs.mu.Lock()
+		ms := r.mapShardOf(id)
+		ms.mu.Lock()
+		if cur, ok := ms.m[id]; !ok || cur != ppn {
+			ms.mu.Unlock()
+			cs.mu.Unlock()
+			continue
+		}
+		delete(ms.m, id)
+		ms.mu.Unlock()
+		r.invalidateLocked(cs, ppn)
+		cs.mu.Unlock()
+		r.mapped.Add(-1)
+		return nil
 	}
-	delete(r.mapping, id)
-	delete(r.reverse, ppn)
-	r.invalidateLocked(ppn)
-	return nil
 }
 
-func (r *Region) invalidateLocked(ppn flash.PPN) {
-	bm := r.blocks[r.dev.geom.BlockOf(ppn)]
-	if bm != nil && bm.valid > 0 {
-		bm.valid--
-	}
-	delete(r.reverse, ppn)
+// retireActiveLocked demotes the chip's write point into the victim heap
+// (it is occupied and may be collected once overwrites invalidate it).
+func (r *Region) retireActiveLocked(cs *chipState) {
+	act := cs.active
+	act.active = false
+	cs.active = nil
+	cs.addVictim(act)
 }
 
-// allocLocked returns the next usable PPN on the given chip, running
-// garbage collection (in the foreground, as the interference the paper
-// measures) when the chip's free-block pool is at its reserve.
-func (r *Region) allocLocked(w *sim.Worker, chip int) (flash.PPN, error) {
-	maxAttempts := 2*len(r.byChip[chip]) + 4
+// allocLocked returns the next usable PPN on the chip. Under foreground
+// GC it collects inline at the reserve (the interference the paper
+// measures); under background GC it wakes the chip's collector at the
+// soft watermark and throttles at the hard reserve.
+func (r *Region) allocLocked(w *sim.Worker, cs *chipState) (flash.PPN, error) {
+	usable := r.usablePagesPerBlock()
+	maxAttempts := 2*len(cs.blocks) + 4
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		if act := r.active[chip]; act != nil {
-			if act.next < r.usablePagesPerBlock() {
+		if act := cs.active; act != nil {
+			if act.next < usable {
 				ppn := r.pageSlotToPPN(act.id, act.next)
 				act.next++
 				return ppn, nil
 			}
-			act.active = false
-			r.active[chip] = nil
+			r.retireActiveLocked(cs)
 		}
-		// The pool is low: reclaim first. Collection may itself install a
-		// partially-filled active block (its migration target); reuse it
-		// rather than popping another block, or the pool drains.
-		if r.freeCnt[chip] <= r.cfg.gcReserve() {
-			err := r.collectLocked(w, chip)
-			if a := r.active[chip]; a != nil && a.next < r.usablePagesPerBlock() {
-				continue
+		if cs.freeLen() <= r.cfg.gcReserve() {
+			if r.backgroundOn() {
+				if err := r.throttleLocked(w, cs); err != nil {
+					return 0, err
+				}
+				if a := cs.active; a != nil && a.next < usable {
+					continue
+				}
+				if cs.freeLen() < 2 {
+					// Never pop the last free block under background GC: a
+					// collection that cannot allocate a migration destination
+					// wedges the chip at 100% full, with its over-provisioned
+					// space unreachable. Fail over to another chip instead.
+					return 0, fmt.Errorf("%w: reserve floor on chip %d of region %q",
+						ErrNoSpace, cs.chip, r.cfg.Name)
+				}
+			} else {
+				// The pool is low: reclaim first. Collection may itself
+				// install a partially-filled active block (its migration
+				// target); reuse it rather than popping another block, or
+				// the pool drains.
+				err := r.collectLocked(w, cs, false)
+				if a := cs.active; a != nil && a.next < usable {
+					continue
+				}
+				if err != nil && cs.freeLen() == 0 {
+					return 0, err
+				}
 			}
-			if err != nil && r.freeCnt[chip] == 0 {
-				return 0, err
-			}
+		} else if r.backgroundOn() && cs.freeLen() <= r.cfg.softWater() {
+			r.wakeCollector(cs)
 		}
-		nb := r.popFreeLocked(chip)
+		nb := cs.popFree()
 		if nb == nil {
-			return 0, fmt.Errorf("%w: chip %d of region %q", ErrNoSpace, chip, r.cfg.Name)
+			return 0, fmt.Errorf("%w: chip %d of region %q", ErrNoSpace, cs.chip, r.cfg.Name)
+		}
+		if cs.active != nil {
+			// Racing writers can install and fill a write point during
+			// throttleLocked's lock-yield gaps; retire it rather than
+			// orphaning a block no heap can see.
+			r.retireActiveLocked(cs)
 		}
 		nb.active = true
-		nb.free = false
 		nb.next = 0
 		nb.valid = 0
-		r.active[chip] = nb
+		cs.active = nb
 	}
-	return 0, fmt.Errorf("%w: allocation livelock on chip %d of region %q", ErrNoSpace, chip, r.cfg.Name)
-}
-
-// popFreeLocked removes and returns the free block with the lowest erase
-// count on the chip (simple wear leveling), or nil.
-func (r *Region) popFreeLocked(chip int) *blockMeta {
-	var best *blockMeta
-	for _, bm := range r.byChip[chip] {
-		if !bm.free {
-			continue
-		}
-		if best == nil || r.dev.arr.EraseCount(bm.id) < r.dev.arr.EraseCount(best.id) {
-			best = bm
-		}
-	}
-	if best != nil {
-		r.freeCnt[chip]--
-	}
-	return best
-}
-
-// collectLocked reclaims one block on the chip: the non-active block with
-// the fewest valid pages is migrated and erased. Runs with r.mu held,
-// releasing it around flash operations.
-func (r *Region) collectLocked(w *sim.Worker, chip int) error {
-	victims := make([]*blockMeta, 0, len(r.byChip[chip]))
-	for _, bm := range r.byChip[chip] {
-		if bm.free || bm.active {
-			continue
-		}
-		victims = append(victims, bm)
-	}
-	if len(victims) == 0 {
-		return fmt.Errorf("%w: no victim on chip %d", ErrNoSpace, chip)
-	}
-	sort.Slice(victims, func(i, j int) bool {
-		if victims[i].valid != victims[j].valid {
-			return victims[i].valid < victims[j].valid
-		}
-		return victims[i].id < victims[j].id
-	})
-	victim := victims[0]
-	if victim.valid >= r.usablePagesPerBlock() {
-		return fmt.Errorf("%w: best victim fully valid on chip %d", ErrNoSpace, chip)
-	}
-	// Migrate every still-valid page. The raw physical image (including
-	// any programmed delta-records and OOB codes) moves as-is, so the new
-	// location decodes identically.
-	g := r.dev.geom
-	for slot := 0; slot < r.usablePagesPerBlock(); slot++ {
-		ppn := r.pageSlotToPPN(victim.id, slot)
-		id, valid := r.reverse[ppn]
-		if !valid {
-			continue
-		}
-		dst, err := r.allocMigrationTargetLocked(chip, victim)
-		if err != nil {
-			return err
-		}
-		data, oob := r.migBuffers()
-		rlat, err := r.dev.arr.ReadInto(w, ppn, data, oob)
-		if err != nil {
-			return err
-		}
-		plat, err := r.dev.arr.Program(w, dst, data, oob)
-		if err != nil {
-			return err
-		}
-		r.stats.GCTime += rlat + plat
-		r.stats.GCPageMigrations++
-		delete(r.reverse, ppn)
-		victim.valid--
-		r.mapping[id] = dst
-		r.reverse[dst] = id
-		r.blocks[g.BlockOf(dst)].valid++
-	}
-	elat, err := r.dev.arr.Erase(w, victim.id)
-	if err != nil && !errors.Is(err, flash.ErrWornOut) {
-		return err
-	}
-	r.stats.GCTime += elat
-	r.stats.GCErases++
-	victim.free = true
-	victim.valid = 0
-	victim.next = 0
-	r.freeCnt[chip]++
-	r.maybeLevelLocked(w, chip)
-	return nil
-}
-
-// maybeLevelLocked performs static wear leveling on the chip: if the
-// spread between the most- and least-worn blocks exceeds the configured
-// delta, the least-worn *occupied* block (cold data pins low-wear blocks)
-// is evacuated and erased, returning it to circulation.
-func (r *Region) maybeLevelLocked(w *sim.Worker, chip int) {
-	if r.cfg.WearDelta <= 0 {
-		return
-	}
-	arr := r.dev.arr
-	var coldest *blockMeta
-	var maxWear, minWear uint32
-	first := true
-	for _, bm := range r.byChip[chip] {
-		wear := arr.EraseCount(bm.id)
-		if first || wear > maxWear {
-			maxWear = wear
-		}
-		if first || wear < minWear {
-			minWear = wear
-		}
-		first = false
-		if bm.free || bm.active {
-			continue
-		}
-		if coldest == nil || arr.EraseCount(bm.id) < arr.EraseCount(coldest.id) {
-			coldest = bm
-		}
-	}
-	if coldest == nil || int(maxWear-minWear) <= r.cfg.WearDelta {
-		return
-	}
-	if arr.EraseCount(coldest.id) != minWear {
-		return // the least-worn block is already free or active
-	}
-	// Evacuate the cold block exactly like a GC victim, charging the
-	// traffic to the wear-leveling counters.
-	g := r.dev.geom
-	for slot := 0; slot < r.usablePagesPerBlock(); slot++ {
-		ppn := r.pageSlotToPPN(coldest.id, slot)
-		id, valid := r.reverse[ppn]
-		if !valid {
-			continue
-		}
-		dst, err := r.allocMigrationTargetLocked(chip, coldest)
-		if err != nil {
-			return // pool too tight; try again after the next collect
-		}
-		data, oob := r.migBuffers()
-		if _, err := arr.ReadInto(w, ppn, data, oob); err != nil {
-			return
-		}
-		if _, err := arr.Program(w, dst, data, oob); err != nil {
-			return
-		}
-		r.stats.WLMigrations++
-		delete(r.reverse, ppn)
-		coldest.valid--
-		r.mapping[id] = dst
-		r.reverse[dst] = id
-		r.blocks[g.BlockOf(dst)].valid++
-	}
-	if _, err := arr.Erase(w, coldest.id); err != nil && !errors.Is(err, flash.ErrWornOut) {
-		return
-	}
-	r.stats.WLErases++
-	coldest.free = true
-	coldest.valid = 0
-	coldest.next = 0
-	r.freeCnt[chip]++
-}
-
-// allocMigrationTargetLocked returns a destination PPN for a migrated
-// page, never selecting the victim block.
-func (r *Region) allocMigrationTargetLocked(chip int, victim *blockMeta) (flash.PPN, error) {
-	for {
-		act := r.active[chip]
-		if act != nil && act != victim && act.next < r.usablePagesPerBlock() {
-			ppn := r.pageSlotToPPN(act.id, act.next)
-			act.next++
-			return ppn, nil
-		}
-		if act != nil {
-			act.active = false
-			r.active[chip] = nil
-		}
-		nb := r.popFreeLocked(chip)
-		if nb == nil || nb == victim {
-			return 0, fmt.Errorf("%w: migration target on chip %d", ErrNoSpace, chip)
-		}
-		nb.active = true
-		nb.free = false
-		nb.next = 0
-		nb.valid = 0
-		r.active[chip] = nb
-	}
+	return 0, fmt.Errorf("%w: allocation livelock on chip %d of region %q", ErrNoSpace, cs.chip, r.cfg.Name)
 }

@@ -10,7 +10,7 @@ import (
 	"ipa/internal/flash"
 )
 
-func newDevice(t *testing.T, cell flash.CellType, chips, blocks, pages, pageSize int) *Device {
+func newDevice(t testing.TB, cell flash.CellType, chips, blocks, pages, pageSize int) *Device {
 	t.Helper()
 	g := flash.Geometry{
 		Chips: chips, BlocksPerChip: blocks, PagesPerBlock: pages,

@@ -2,6 +2,7 @@ package noftl
 
 import (
 	"fmt"
+	"sort"
 
 	"ipa/internal/core"
 	"ipa/internal/flash"
@@ -16,6 +17,11 @@ import (
 // page the physical copy with the highest post-reconstruction LSN is the
 // current one, older copies are garbage. This is the flash-native
 // equivalent of an FTL rebuilding its tables from OOB metadata.
+//
+// Both entry points are recovery paths and expect a quiesced region: no
+// concurrent writers, and background collectors either not yet started
+// or idle (freshly created regions qualify — Adopt runs before any
+// write has pulled the free pool below the soft watermark).
 
 // PhysicalPage is one programmed page surfaced by ScanPhysical.
 type PhysicalPage struct {
@@ -30,20 +36,11 @@ type PhysicalPage struct {
 // caller's job (it knows the page layout). Data and OOB buffers are
 // reused across calls: fn must copy anything it wants to retain.
 func (r *Region) ScanPhysical(w *sim.Worker, fn func(p PhysicalPage) bool) error {
-	r.mu.Lock()
-	blocks := make([]int, 0, len(r.blocks))
-	for id := range r.blocks {
+	blocks := make([]int, 0, len(r.blockIndex))
+	for id := range r.blockIndex {
 		blocks = append(blocks, id)
 	}
-	r.mu.Unlock()
-	// Deterministic order.
-	for i := range blocks {
-		for j := i + 1; j < len(blocks); j++ {
-			if blocks[j] < blocks[i] {
-				blocks[i], blocks[j] = blocks[j], blocks[i]
-			}
-		}
-	}
+	sort.Ints(blocks)
 	arr := r.dev.arr
 	data := make([]byte, r.dev.geom.PageSize)
 	oob := make([]byte, r.dev.geom.OOBSize)
@@ -66,67 +63,95 @@ func (r *Region) ScanPhysical(w *sim.Worker, fn func(p PhysicalPage) bool) error
 
 // Adopt installs a mapping reconstructed by a scan, replacing the
 // region's in-memory metadata: forward and reverse maps, per-block valid
-// counts, and write points (derived from the highest programmed page of
-// each block). Physical copies not present in the mapping are garbage
-// and will be reclaimed by the collector.
+// counts, write points (derived from the highest programmed page of each
+// block), free pool and victim heaps. Physical copies not present in the
+// mapping are garbage and will be reclaimed by the collector.
 func (r *Region) Adopt(mapping map[core.PageID]flash.PPN) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	// Validate every target lies in this region.
 	for id, ppn := range mapping {
-		bm := r.blocks[r.dev.geom.BlockOf(ppn)]
-		if bm == nil {
+		if r.blockIndex[r.dev.geom.BlockOf(ppn)] == nil {
 			return fmt.Errorf("noftl: adopt page %d: ppn %d outside region %q", id, ppn, r.cfg.Name)
 		}
 	}
 	if len(mapping) > r.logical {
 		return fmt.Errorf("%w: adopting %d pages into capacity %d", ErrRegionFull, len(mapping), r.logical)
 	}
-	r.mapping = make(map[core.PageID]flash.PPN, len(mapping))
-	r.reverse = make(map[flash.PPN]core.PageID, len(mapping))
+	// Install the forward map.
+	for i := range r.maps {
+		ms := &r.maps[i]
+		ms.mu.Lock()
+		ms.m = make(map[core.PageID]flash.PPN)
+		ms.mu.Unlock()
+	}
 	for id, ppn := range mapping {
-		r.mapping[id] = ppn
-		r.reverse[ppn] = id
+		ms := r.mapShardOf(id)
+		ms.mu.Lock()
+		ms.m[id] = ppn
+		ms.mu.Unlock()
 	}
-	// Re-derive per-block state from flash.
+	r.mapped.Store(int64(len(mapping)))
+	// Re-derive per-chip state from flash.
 	arr := r.dev.arr
-	for _, bm := range r.blocks {
-		bm.valid = 0
-		bm.active = false
-		bm.free = true
-		bm.next = 0
-		for slot := r.usablePagesPerBlock() - 1; slot >= 0; slot-- {
-			if !arr.IsErased(r.pageSlotToPPN(bm.id, slot)) {
-				bm.next = slot + 1
-				bm.free = false
-				break
-			}
-		}
-	}
-	for _, ppn := range r.mapping {
-		r.blocks[r.dev.geom.BlockOf(ppn)].valid++
-	}
-	// Rebuild free lists and clear write points (the next write pops a
-	// fresh block or reuses a partially-written one through allocLocked).
-	r.freeCnt = make(map[int]int)
-	r.active = make(map[int]*blockMeta)
+	usable := r.usablePagesPerBlock()
 	for _, c := range r.chips {
-		r.freeCnt[c] = 0
-	}
-	for _, bm := range r.blocks {
-		if bm.free {
-			r.freeCnt[bm.chip]++
-		} else if bm.next < r.usablePagesPerBlock() {
-			// A partially filled block becomes the chip's write point so
-			// its remaining pages are not stranded.
-			if cur := r.active[bm.chip]; cur == nil || bm.next < cur.next {
-				if cur != nil {
-					cur.active = false
+		cs := r.byChip[c]
+		cs.mu.Lock()
+		cs.reverse = make(map[flash.PPN]core.PageID)
+		cs.active = nil
+		cs.migTarget = nil
+		cs.exhausted = false
+		cs.freePool.reset()
+		cs.victims.reset()
+		for _, bm := range cs.blocks {
+			bm.valid = 0
+			bm.active = false
+			bm.free = false
+			bm.collecting = false
+			bm.freeIdx = -1
+			bm.victIdx = -1
+			bm.next = 0
+			for slot := usable - 1; slot >= 0; slot-- {
+				if !arr.IsErased(r.pageSlotToPPN(bm.id, slot)) {
+					bm.next = slot + 1
+					break
 				}
-				bm.active = true
-				r.active[bm.chip] = bm
 			}
 		}
+		cs.mu.Unlock()
+	}
+	for id, ppn := range mapping {
+		cs := r.chipOf(ppn)
+		cs.mu.Lock()
+		cs.reverse[ppn] = id
+		r.blockIndex[r.dev.geom.BlockOf(ppn)].valid++
+		cs.mu.Unlock()
+	}
+	// Rebuild the free pool, write points and victim heaps. A partially
+	// filled block becomes the chip's write point so its remaining pages
+	// are not stranded; everything else occupied is a victim candidate.
+	for _, c := range r.chips {
+		cs := r.byChip[c]
+		cs.mu.Lock()
+		for _, bm := range cs.blocks {
+			switch {
+			case bm.next == 0:
+				cs.pushFree(bm, arr.EraseCount(bm.id))
+			case bm.next < usable:
+				if cur := cs.active; cur == nil || bm.next < cur.next {
+					if cur != nil {
+						cur.active = false
+						cs.addVictim(cur)
+					}
+					bm.active = true
+					cs.active = bm
+				} else {
+					cs.addVictim(bm)
+				}
+			default:
+				cs.addVictim(bm)
+			}
+		}
+		cs.mu.Unlock()
 	}
 	return nil
 }
