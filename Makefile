@@ -2,9 +2,15 @@
 # lands. `make check` is what CI (and ROADMAP.md) means by tier-1.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-all fmt
+.PHONY: check vet build test race bench bench-all fmt fmt-check
 
-check: vet build race
+check: fmt-check vet build race
+
+# gofmt cleanliness is part of the gate: a dirty tree means a tool or a
+# hand-edit skipped formatting.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -20,15 +26,28 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Perf trajectory: the hot-path micro-benchmarks, the 16-chip
-# concurrency macro-benchmark, and the inline-vs-background GC
-# interference benchmark, 5 counts each, recorded as JSON evidence.
-BENCH_OUT ?= BENCH_PR3.json
+# Perf trajectory: the hot-path micro-benchmarks, the buffer-pool hit
+# path (sharded vs unsharded, 1→16 goroutines), the 16-chip concurrency
+# macro-benchmark (sharded vs unsharded pool), and the
+# inline-vs-background GC interference benchmark, 5 counts each,
+# recorded as JSON evidence. The TPC-B macro-bench runs a fixed
+# iteration count (-benchtime 3000x = 300k committed transactions) so
+# every count measures the same steady-state regime — adaptive
+# benchtime mixes short warm-cache runs with long eviction-bound ones
+# and the counts stop being comparable. Its 5 counts are taken as 5
+# separate -count=1 invocations rather than one -count=5 block: the
+# box is a shared VM with multi-minute slow phases (CPU steal), and
+# interleaving keeps each sharded-vs-unsharded pair seconds apart
+# under the same machine conditions instead of minutes apart.
+BENCH_OUT ?= BENCH_PR4.json
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkPageDiff$$|BenchmarkFlashProgramDelta$$' \
 		-benchmem -count=5 . > /tmp/bench_raw.txt
-	$(GO) test -run xxx -bench 'BenchmarkConcurrentTPCB' \
-		-benchmem -count=5 ./internal/workload/ >> /tmp/bench_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkBufferGet' \
+		-benchmem -count=5 ./internal/buffer/ >> /tmp/bench_raw.txt
+	for i in 1 2 3 4 5; do \
+		$(GO) test -run xxx -bench 'BenchmarkConcurrentTPCB' -benchtime 3000x \
+			-benchmem ./internal/workload/ >> /tmp/bench_raw.txt || exit 1; done
 	$(GO) test -run xxx -bench 'BenchmarkGCInterference' -benchtime 1000000x \
 		-count=5 ./internal/noftl/ >> /tmp/bench_raw.txt
 	cat /tmp/bench_raw.txt

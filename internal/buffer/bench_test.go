@@ -1,0 +1,117 @@
+package buffer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ipa/internal/core"
+)
+
+// TestHitPathZeroAllocs pins the PR 2 zero-alloc invariant on the pool's
+// hot path: a buffer hit (Get of a resident page) plus a clean Unpin
+// must not allocate, in both the single-shard and sharded pools.
+func TestHitPathZeroAllocs(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			st := newFakeStore(64)
+			for id := core.PageID(1); id <= 16; id++ {
+				img := make([]byte, 64)
+				img[0] = byte(id)
+				st.pages[id] = img
+			}
+			p, err := New(Config{
+				Frames: 32, PageSize: 64, Shards: shards, DirtyThreshold: 2.0,
+			}, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Make all 16 pages resident (the misses may allocate; that is
+			// the cold path).
+			for id := core.PageID(1); id <= 16; id++ {
+				fr, err := p.Get(nil, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Unpin(nil, fr, false, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			id := core.PageID(1)
+			allocs := testing.AllocsPerRun(200, func() {
+				fr, err := p.Get(nil, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Unpin(nil, fr, false, 0); err != nil {
+					t.Fatal(err)
+				}
+				id = id%16 + 1
+			})
+			if allocs != 0 {
+				t.Errorf("hit path allocates %v per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkBufferGet measures the pool hit path (Get of a resident page
+// + clean Unpin) under 1→16 concurrent goroutines, sharded vs unsharded.
+// This is the microbenchmark behind the PR 4 tentpole: with Shards=1
+// every hit serialises on one mutex; with Shards=16 hits on different
+// pages ride independent shard locks and should scale near-linearly
+// until the memory system saturates. Run with:
+//
+//	go test -bench BufferGet -run xxx ./internal/buffer/
+func BenchmarkBufferGet(b *testing.B) {
+	const pages = 1024
+	for _, shards := range []int{1, 16} {
+		for _, gs := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("shards=%d/goroutines=%d", shards, gs), func(b *testing.B) {
+				st := newFakeStore(64)
+				for id := core.PageID(1); id <= pages; id++ {
+					st.pages[id] = make([]byte, 64)
+				}
+				p, err := New(Config{
+					Frames: 2 * pages, PageSize: 64, Shards: shards, DirtyThreshold: 2.0,
+				}, st)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for id := core.PageID(1); id <= pages; id++ {
+					fr, err := p.Get(nil, id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := p.Unpin(nil, fr, false, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N/gs + 1
+				for g := 0; g < gs; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						// Golden-ratio stride walks every page, decorrelated
+						// across goroutines so hits spread over all shards.
+						x := uint64(g) * 0x9E3779B97F4A7C15
+						for i := 0; i < per; i++ {
+							x += 0x9E3779B97F4A7C15
+							id := core.PageID(1 + (x>>40)%pages)
+							fr, err := p.Get(nil, id)
+							if err != nil {
+								panic(err)
+							}
+							if err := p.Unpin(nil, fr, false, 0); err != nil {
+								panic(err)
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

@@ -9,21 +9,37 @@
 // flush. On eviction the storage manager diffs the two to decide between
 // an In-Place Append (write_delta) and an out-of-place page write.
 //
-// Concurrency model. The pool mutex (p.mu) guards only the frame table
-// and frame *state* (pin counts, dirty flags, CLOCK metadata); page
-// *contents* (Data, Flushed, UsedSlots, New) are guarded by a per-frame
-// reader/writer latch. All store I/O — fetches on a miss, flushes on
-// eviction, cleaning — runs outside p.mu, so fetch/flush on different
+// Concurrency model. The pool is split into Config.Shards independent
+// shards, frames partitioned by hash(PageID). Each shard owns its own
+// mutex, page table, frame slice, CLOCK hand, dirty counter and stats
+// cell, so pool operations on pages in different shards never contend —
+// the same padded-shard pattern as the flash array's per-chip state. A
+// shard mutex guards only that shard's frame table and frame *state*
+// (pin counts, dirty flags, CLOCK metadata); page *contents* (Data,
+// Flushed, UsedSlots, New) are guarded by a per-frame reader/writer
+// latch. All store I/O — fetches on a miss, flushes on eviction,
+// cleaning — runs outside the shard mutexes, so fetch/flush on different
 // pages (and different regions) proceed in parallel. The latch order is
-// strict: a frame latch is never acquired while p.mu is held, and p.mu
-// may be acquired while a latch is held, never the reverse direction.
+// strict: a frame latch is never acquired while a shard mutex is held, a
+// shard mutex may be acquired while a latch is held, and no two shard
+// mutexes are ever held at once.
+//
+// Determinism. Shards=1 (the default) degenerates to a single global
+// CLOCK whose eviction order is bit-identical to the historical
+// unsharded pool. The paper's experiments depend on that: eviction order
+// decides which flushes happen and when, and therefore the update-size
+// distributions of Tables 1/9/10/11. Multi-shard pools are for the
+// concurrency benchmarks and production-style deployments, where
+// shard-local CLOCK ordering is an accepted (and documented) deviation.
 package buffer
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ipa/internal/core"
 	"ipa/internal/sim"
@@ -68,14 +84,21 @@ type Frame struct {
 	// latch guards the page contents (Data, Flushed, UsedSlots, New)
 	// against concurrent access: engine readers hold it shared, engine
 	// mutators and the flush paths hold it exclusively. Pin the frame
-	// before latching; never latch while holding the pool mutex.
+	// before latching; never latch while holding a shard mutex.
 	latch sync.RWMutex
+
+	// home is the shard whose frame slice (and mutex) currently owns this
+	// frame. It only changes while the frame is free and unpinned, under
+	// the owning shard's mutex (see stealFrameLocked); holders of a pin
+	// may read it directly, everyone else goes through lockHome.
+	home atomic.Pointer[poolShard]
 
 	pin int
 	ref bool
 
 	// Miss-fetch protocol: the loader sets loading and fetches outside
-	// p.mu; concurrent getters pin the frame and wait on loadDone.
+	// the shard mutex; concurrent getters pin the frame and wait on
+	// loadDone.
 	loading  bool
 	loadDone chan struct{}
 	loadErr  error
@@ -97,6 +120,15 @@ func (fr *Frame) RUnlatch() { fr.latch.RUnlock() }
 type Config struct {
 	Frames   int
 	PageSize int
+
+	// Shards splits the pool into independent partitions — each with its
+	// own mutex, page table, CLOCK hand and dirty accounting — routed by
+	// hash(PageID). Zero or one selects the single-shard pool, whose
+	// global CLOCK eviction order is bit-identical to the historical
+	// implementation (what every paper experiment uses). Values are
+	// rounded up to the next power of two and capped so every shard owns
+	// at least one frame.
+	Shards int
 
 	// DirtyThreshold is the dirty-page fraction above which Unpin invokes
 	// the cleaner, emulating Shore-MT's eager background flushing. Zero
@@ -136,6 +168,27 @@ func (c Config) cleanBatch() int {
 	return b
 }
 
+// shardCount normalises Config.Shards: at least one, a power of two (so
+// routing is a multiply and a shift, no modulo), and never more than
+// Frames so every shard owns at least one frame.
+func (c Config) shardCount() int {
+	n := c.Shards
+	if n < 1 {
+		n = 1
+	}
+	if n > c.Frames {
+		n = c.Frames
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	for p > c.Frames && p > 1 {
+		p >>= 1
+	}
+	return p
+}
+
 // Stats counts pool activity.
 type Stats struct {
 	Hits           uint64
@@ -145,21 +198,53 @@ type Stats struct {
 	CleanerFlushes uint64 // background cleaner flushes
 }
 
+// statsCell is one shard's counters. All fields are atomics so Stats()
+// aggregates without taking any shard mutex.
+type statsCell struct {
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	evictions      atomic.Uint64
+	evictionFlush  atomic.Uint64
+	cleanerFlushes atomic.Uint64
+}
+
+// dec undoes one Add(1) on an atomic counter (two's-complement add).
+func dec(c *atomic.Uint64) { c.Add(^uint64(0)) }
+
+// poolShard is one partition of the pool: a subset of the frames with
+// its own mutex, page table, CLOCK hand, dirty counter and stats cell.
+// Operations on pages routed to different shards never contend.
+type poolShard struct {
+	mu     sync.Mutex
+	frames []*Frame
+	table  map[core.PageID]*Frame
+	hand   int
+
+	// dirty and stats are atomics so DirtyFraction/Stats never lock; the
+	// mutating paths already hold mu when they update them.
+	dirty atomic.Int64
+	stats statsCell
+
+	// Pad shards apart so two shards' mutexes and counters never share a
+	// cache line (the shards live contiguously in Pool.shards).
+	_ [64]byte
+}
+
 // Pool is the buffer pool. All methods are safe for concurrent use.
 type Pool struct {
 	cfg   Config
 	store Store
 
-	mu     sync.Mutex
-	frames []*Frame
-	table  map[core.PageID]*Frame
-	hand   int
-	dirty  int
-	stats  Stats
+	shards     []poolShard
+	shardShift uint // 64 - log2(len(shards)); fibonacci-hash routing
+	nframes    int  // total frames across shards (fixed at construction)
 
 	// cleanGate admits one cleaner pass at a time; triggers arriving
 	// while a pass runs are dropped (the running pass covers them).
+	// cleanNext (guarded by cleanGate) rotates the shard a pass starts
+	// at, so cleaning pressure spreads round-robin across shards.
 	cleanGate sync.Mutex
+	cleanNext int
 }
 
 // New creates a pool with cfg.Frames empty frames.
@@ -170,70 +255,121 @@ func New(cfg Config, store Store) (*Pool, error) {
 	if cfg.PageSize < 64 {
 		return nil, fmt.Errorf("buffer: page size %d", cfg.PageSize)
 	}
-	p := &Pool{
-		cfg:    cfg,
-		store:  store,
-		frames: make([]*Frame, cfg.Frames),
-		table:  make(map[core.PageID]*Frame, cfg.Frames),
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("buffer: %d shards", cfg.Shards)
 	}
-	for i := range p.frames {
-		p.frames[i] = &Frame{Data: make([]byte, cfg.PageSize)}
+	n := cfg.shardCount()
+	p := &Pool{
+		cfg:        cfg,
+		store:      store,
+		shards:     make([]poolShard, n),
+		shardShift: uint(64 - bits.TrailingZeros(uint(n))),
+		nframes:    cfg.Frames,
+	}
+	base, rem := cfg.Frames/n, cfg.Frames%n
+	for i := range p.shards {
+		s := &p.shards[i]
+		count := base
+		if i < rem {
+			count++
+		}
+		s.frames = make([]*Frame, count)
+		s.table = make(map[core.PageID]*Frame, count)
+		for j := range s.frames {
+			fr := &Frame{Data: make([]byte, cfg.PageSize)}
+			fr.home.Store(s)
+			s.frames[j] = fr
+		}
 	}
 	return p, nil
 }
 
 // Size returns the number of frames.
-func (p *Pool) Size() int { return p.cfg.Frames }
+func (p *Pool) Size() int { return p.nframes }
 
-// Stats returns a snapshot of the counters.
-func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+// Shards returns the effective shard count (after normalisation).
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// shardOf routes a page id to its shard (fibonacci hashing; shift 64 for
+// a single shard maps everything to shard 0).
+func (p *Pool) shardOf(id core.PageID) *poolShard {
+	return &p.shards[(uint64(id)*0x9E3779B97F4A7C15)>>p.shardShift]
 }
 
-// DirtyFraction is the fraction of frames currently dirty.
+// lockHome locks the shard currently owning fr and returns it. The
+// re-check loop covers the (steal) window where a free frame migrates
+// between shards while we were waiting on the old shard's mutex.
+func (p *Pool) lockHome(fr *Frame) *poolShard {
+	for {
+		s := fr.home.Load()
+		s.mu.Lock()
+		if fr.home.Load() == s {
+			return s
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the counters. Lock-free: per-shard cells
+// are atomics, so sampling never stalls pool traffic.
+func (p *Pool) Stats() Stats {
+	var out Stats
+	for i := range p.shards {
+		c := &p.shards[i].stats
+		out.Hits += c.hits.Load()
+		out.Misses += c.misses.Load()
+		out.Evictions += c.evictions.Load()
+		out.EvictionFlush += c.evictionFlush.Load()
+		out.CleanerFlushes += c.cleanerFlushes.Load()
+	}
+	return out
+}
+
+// DirtyFraction is the fraction of frames currently dirty. Lock-free.
 func (p *Pool) DirtyFraction() float64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return float64(p.dirty) / float64(len(p.frames))
+	var dirty int64
+	for i := range p.shards {
+		dirty += p.shards[i].dirty.Load()
+	}
+	return float64(dirty) / float64(p.nframes)
 }
 
 // Get pins the page, fetching it from the store on a miss. The fetch
-// happens outside the pool mutex; concurrent getters of the same page
+// happens outside the shard mutex; concurrent getters of the same page
 // wait for the in-flight fetch instead of issuing their own.
 func (p *Pool) Get(w *sim.Worker, id core.PageID) (*Frame, error) {
+	s := p.shardOf(id)
 	for {
-		p.mu.Lock()
-		if fr, ok := p.table[id]; ok {
+		s.mu.Lock()
+		if fr, ok := s.table[id]; ok {
 			fr.pin++
 			fr.ref = true
-			p.stats.Hits++
+			s.stats.hits.Add(1)
 			loading, done := fr.loading, fr.loadDone
-			p.mu.Unlock()
+			s.mu.Unlock()
 			if loading {
 				<-done
-				p.mu.Lock()
+				s.mu.Lock()
 				if err := fr.loadErr; err != nil {
 					fr.pin--
-					p.mu.Unlock()
+					s.mu.Unlock()
 					return nil, err
 				}
-				p.mu.Unlock()
+				s.mu.Unlock()
 			}
 			return fr, nil
 		}
-		p.stats.Misses++
-		fr, err := p.victimLocked(w)
+		s.stats.misses.Add(1)
+		fr, err := p.acquireVictimLocked(s, w)
 		if err != nil {
-			p.mu.Unlock()
+			s.mu.Unlock()
 			return nil, err
 		}
-		if _, raced := p.table[id]; raced {
+		if _, raced := s.table[id]; raced {
 			// Someone loaded the page while we were evicting: leave the
 			// reclaimed frame free and retry as a hit.
-			p.stats.Misses--
-			p.mu.Unlock()
+			dec(&s.stats.misses)
+			s.mu.Unlock()
 			continue
 		}
 		fr.ID = id
@@ -250,26 +386,26 @@ func (p *Pool) Get(w *sim.Worker, id core.PageID) (*Frame, error) {
 		fr.loading = true
 		fr.loadDone = make(chan struct{})
 		fr.loadErr = nil
-		p.table[id] = fr
-		p.mu.Unlock()
+		s.table[id] = fr
+		s.mu.Unlock()
 
 		used, err := p.store.Fetch(w, id, fr.Data)
 
-		p.mu.Lock()
+		s.mu.Lock()
 		fr.loading = false
 		if err != nil {
 			fr.loadErr = err
-			delete(p.table, id)
+			delete(s.table, id)
 			fr.pin-- // our pin; waiters drop theirs when they see loadErr
 			fr.ID = core.InvalidPageID
 			close(fr.loadDone)
-			p.mu.Unlock()
+			s.mu.Unlock()
 			return nil, err
 		}
 		fr.UsedSlots = used
 		fr.Flushed = append(flushedBuf, fr.Data...)
 		close(fr.loadDone)
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return fr, nil
 	}
 }
@@ -278,14 +414,15 @@ func (p *Pool) Get(w *sim.Worker, id core.PageID) (*Frame, error) {
 // copy yet. The caller formats fr.Data; the first flush will be an
 // out-of-place write.
 func (p *Pool) GetNew(w *sim.Worker, id core.PageID) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if fr, ok := p.table[id]; ok {
+	s := p.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fr, ok := s.table[id]; ok {
 		fr.pin++
 		fr.ref = true
 		return fr, nil
 	}
-	fr, err := p.victimLocked(w)
+	fr, err := p.acquireVictimLocked(s, w)
 	if err != nil {
 		return nil, err
 	}
@@ -297,10 +434,8 @@ func (p *Pool) GetNew(w *sim.Worker, id core.PageID) (*Frame, error) {
 	fr.Flushed = nil
 	fr.UsedSlots = 0
 	fr.RecLSN = 0
-	for i := range fr.Data {
-		fr.Data[i] = 0
-	}
-	p.table[id] = fr
+	clear(fr.Data)
+	s.table[id] = fr
 	return fr, nil
 }
 
@@ -308,9 +443,10 @@ func (p *Pool) GetNew(w *sim.Worker, id core.PageID) (*Frame, error) {
 // modified the page since it was last clean (ARIES recLSN). When the
 // dirty fraction exceeds the threshold the cleaner flushes a batch.
 func (p *Pool) Unpin(w *sim.Worker, fr *Frame, dirty bool, recLSN core.LSN) error {
-	p.mu.Lock()
+	s := fr.home.Load() // stable: the caller holds a pin
+	s.mu.Lock()
 	if fr.pin <= 0 {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return fmt.Errorf("buffer: unpin of unpinned page %d", fr.ID)
 	}
 	fr.pin--
@@ -318,12 +454,11 @@ func (p *Pool) Unpin(w *sim.Worker, fr *Frame, dirty bool, recLSN core.LSN) erro
 		if !fr.Dirty {
 			fr.Dirty = true
 			fr.RecLSN = recLSN
-			p.dirty++
+			s.dirty.Add(1)
 		}
 	}
-	needClean := float64(p.dirty)/float64(len(p.frames)) > p.cfg.dirtyThreshold()
-	p.mu.Unlock()
-	if needClean {
+	s.mu.Unlock()
+	if p.DirtyFraction() > p.cfg.dirtyThreshold() {
 		if p.cfg.CleanNotify != nil {
 			p.cfg.CleanNotify()
 			return nil
@@ -334,37 +469,40 @@ func (p *Pool) Unpin(w *sim.Worker, fr *Frame, dirty bool, recLSN core.LSN) erro
 }
 
 // claimLocked marks a dirty, unpinned frame clean and flush-pins it so
-// the caller can flush it outside p.mu. A writer that re-dirties the
-// frame during the flush simply marks it dirty again — nothing is lost,
-// the frame is flushed once more later.
-func (p *Pool) claimLocked(fr *Frame) {
+// the caller can flush it outside the shard mutex. A writer that
+// re-dirties the frame during the flush simply marks it dirty again —
+// nothing is lost, the frame is flushed once more later.
+func (s *poolShard) claimLocked(fr *Frame) {
 	fr.Dirty = false
 	fr.RecLSN = 0
-	p.dirty--
+	s.dirty.Add(-1)
 	fr.pin++
 }
 
-// flushClaimed flushes a frame claimed by claimLocked, without p.mu held,
-// taking the content latch for the duration of the store I/O. On error
-// the dirty state is restored.
+// flushClaimed flushes a frame claimed by claimLocked, without any shard
+// mutex held, taking the content latch for the duration of the store
+// I/O. On error the dirty state is restored.
 func (p *Pool) flushClaimed(w *sim.Worker, fr *Frame, recLSN core.LSN) error {
 	fr.latch.Lock()
 	err := p.store.Flush(w, fr)
 	fr.latch.Unlock()
-	p.mu.Lock()
+	s := fr.home.Load() // stable: the flush pin prevents stealing
+	s.mu.Lock()
 	fr.pin--
 	if err != nil && !fr.Dirty {
 		fr.Dirty = true
 		fr.RecLSN = recLSN
-		p.dirty++
+		s.dirty.Add(1)
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 	return err
 }
 
 // CleanerPass flushes up to one batch of dirty unpinned frames, charged
 // to the configured cleaner worker (or w if none). Only one pass runs at
-// a time; triggers arriving during a pass return immediately.
+// a time; triggers arriving during a pass return immediately. Shards are
+// walked round-robin (the start shard rotates between passes) with a
+// per-shard claim quota, so one hot shard cannot monopolise the batch.
 func (p *Pool) CleanerPass(w *sim.Worker) error {
 	if !p.cleanGate.TryLock() {
 		return nil
@@ -381,38 +519,140 @@ func (p *Pool) CleanerPass(w *sim.Worker) error {
 		recLSN core.LSN
 	}
 	var batch []claimed
-	p.mu.Lock()
+	nshards := len(p.shards)
 	budget := p.cfg.cleanBatch()
-	for i := 0; i < len(p.frames) && budget > 0; i++ {
-		fr := p.frames[(p.hand+i)%len(p.frames)]
-		if !fr.Dirty || fr.pin > 0 || fr.loading {
-			continue
-		}
-		batch = append(batch, claimed{fr, fr.RecLSN})
-		p.claimLocked(fr)
-		budget--
+	perShard := budget / nshards
+	if perShard < 1 {
+		perShard = 1
 	}
-	p.mu.Unlock()
+	start := p.cleanNext % nshards
+	p.cleanNext++
+	for k := 0; k < nshards && budget > 0; k++ {
+		s := &p.shards[(start+k)%nshards]
+		quota := perShard
+		if quota > budget {
+			quota = budget
+		}
+		s.mu.Lock()
+		n := len(s.frames)
+		for i := 0; i < n && quota > 0; i++ {
+			fr := s.frames[(s.hand+i)%n]
+			if !fr.Dirty || fr.pin > 0 || fr.loading {
+				continue
+			}
+			batch = append(batch, claimed{fr, fr.RecLSN})
+			s.claimLocked(fr)
+			quota--
+			budget--
+		}
+		s.mu.Unlock()
+	}
 	for _, c := range batch {
 		if err := p.flushClaimed(cw, c.fr, c.recLSN); err != nil {
 			return err
 		}
-		p.mu.Lock()
-		p.stats.CleanerFlushes++
-		p.mu.Unlock()
+		c.fr.home.Load().stats.cleanerFlushes.Add(1)
 	}
 	return nil
 }
 
-// victimLocked returns a free, unpinned frame not present in the page
-// table, evicting (and flushing) as needed using the CLOCK policy. It is
-// called with p.mu held and returns with p.mu held, but may release the
-// mutex while flushing a dirty victim.
-func (p *Pool) victimLocked(w *sim.Worker) (*Frame, error) {
-	n := len(p.frames)
+// acquireVictimLocked returns a free frame for shard s, called and
+// returning with s.mu held (it may drop the mutex while flushing or
+// stealing). When the local CLOCK exhausts — every frame pinned or
+// loading — it steals an unpinned frame from another shard before
+// surfacing ErrNoFrames, so a working set skewed onto one shard cannot
+// fail while the rest of the pool sits idle.
+func (p *Pool) acquireVictimLocked(s *poolShard, w *sim.Worker) (*Frame, error) {
+	fr, err := p.victimLocked(s, w)
+	if err == nil || !errors.Is(err, ErrNoFrames) || len(p.shards) == 1 {
+		return fr, err
+	}
+	s.mu.Unlock()
+	stolen := p.stealFrame(s)
+	s.mu.Lock()
+	if stolen != nil {
+		s.frames = append(s.frames, stolen)
+		return stolen, nil
+	}
+	// Nothing stealable anywhere; one last local attempt — frames may
+	// have been unpinned while we searched the other shards.
+	return p.victimLocked(s, w)
+}
+
+// stealFrame takes a clean, unpinned frame from some other shard,
+// evicting its page if it holds one, and re-homes it to the requester.
+// Shards with a single frame left are skipped so no shard ever empties.
+// At most one shard mutex is held at a time (never the requester's),
+// keeping the pool deadlock-free by construction.
+func (p *Pool) stealFrame(to *poolShard) *Frame {
+	for i := range p.shards {
+		s := &p.shards[i]
+		if s == to {
+			continue
+		}
+		s.mu.Lock()
+		if len(s.frames) <= 1 {
+			s.mu.Unlock()
+			continue
+		}
+		for j, fr := range s.frames {
+			if fr.pin > 0 || fr.loading || fr.Dirty {
+				continue
+			}
+			if fr.ID != core.InvalidPageID {
+				delete(s.table, fr.ID)
+				s.stats.evictions.Add(1)
+				fr.ID = core.InvalidPageID
+			}
+			fr.New = false
+			fr.Flushed = nil
+			fr.ref = false
+			// Re-home before the frame leaves this shard's critical
+			// section so lockHome observers retry against the new owner.
+			fr.home.Store(to)
+			s.removeFrameLocked(j)
+			s.mu.Unlock()
+			return fr
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// removeFrameLocked removes s.frames[i] preserving CLOCK order, fixing
+// the hand so the sweep continues from the same logical position.
+func (s *poolShard) removeFrameLocked(i int) {
+	copy(s.frames[i:], s.frames[i+1:])
+	s.frames[len(s.frames)-1] = nil
+	s.frames = s.frames[:len(s.frames)-1]
+	if s.hand > i {
+		s.hand--
+	}
+	if s.hand >= len(s.frames) {
+		s.hand = 0
+	}
+}
+
+// victimLocked returns a free, unpinned frame not present in the shard's
+// page table, evicting (and flushing) as needed using the CLOCK policy.
+// It is called with s.mu held and returns with s.mu held, but may
+// release the mutex while flushing a dirty victim (during which the
+// shard's frame slice can grow or shrink via stealing — the loop
+// re-reads its bounds).
+func (p *Pool) victimLocked(s *poolShard, w *sim.Worker) (*Frame, error) {
+	n := len(s.frames)
 	for round := 0; round < 4*n+2; round++ {
-		fr := p.frames[p.hand]
-		p.hand = (p.hand + 1) % n
+		if n != len(s.frames) {
+			n = len(s.frames)
+			if n == 0 {
+				break
+			}
+		}
+		if s.hand >= n {
+			s.hand = 0
+		}
+		fr := s.frames[s.hand]
+		s.hand = (s.hand + 1) % n
 		if fr.pin > 0 || fr.loading {
 			continue
 		}
@@ -424,26 +664,26 @@ func (p *Pool) victimLocked(w *sim.Worker) (*Frame, error) {
 			return fr, nil
 		}
 		if !fr.Dirty {
-			delete(p.table, fr.ID)
-			p.stats.Evictions++
+			delete(s.table, fr.ID)
+			s.stats.evictions.Add(1)
 			fr.ID = core.InvalidPageID
 			return fr, nil
 		}
-		// Dirty victim: flush it outside the pool mutex, then re-check —
+		// Dirty victim: flush it outside the shard mutex, then re-check —
 		// another goroutine may have pinned it meanwhile, in which case
 		// the CLOCK hand keeps searching.
 		recLSN := fr.RecLSN
-		p.claimLocked(fr)
-		p.mu.Unlock()
+		s.claimLocked(fr)
+		s.mu.Unlock()
 		err := p.flushClaimed(w, fr, recLSN)
-		p.mu.Lock()
+		s.mu.Lock()
 		if err != nil {
 			return nil, err
 		}
-		p.stats.EvictionFlush++
+		s.stats.evictionFlush.Add(1)
 		if fr.pin == 0 && !fr.Dirty && !fr.loading {
-			delete(p.table, fr.ID)
-			p.stats.Evictions++
+			delete(s.table, fr.ID)
+			s.stats.evictions.Add(1)
 			fr.ID = core.InvalidPageID
 			return fr, nil
 		}
@@ -452,29 +692,52 @@ func (p *Pool) victimLocked(w *sim.Worker) (*Frame, error) {
 }
 
 // FlushAll writes every dirty frame (checkpoint support). Pinned dirty
-// frames are an error.
+// frames are an error. Within each shard the scan resumes from the frame
+// after the last flush instead of restarting at index 0, wrapping until
+// a full sweep finds nothing dirty — O(frames + flushes) per quiescent
+// checkpoint instead of the historical O(frames²).
 func (p *Pool) FlushAll(w *sim.Worker) error {
+	for i := range p.shards {
+		if err := p.flushAllShard(&p.shards[i], w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pool) flushAllShard(s *poolShard, w *sim.Worker) error {
+	pos := 0
 	for {
 		var fr *Frame
 		var recLSN core.LSN
-		p.mu.Lock()
-		for _, f := range p.frames {
+		s.mu.Lock()
+		n := len(s.frames)
+		if n == 0 {
+			s.mu.Unlock()
+			return nil
+		}
+		if pos >= n {
+			pos = 0
+		}
+		for scanned := 0; scanned < n; scanned++ {
+			f := s.frames[(pos+scanned)%n]
 			if !f.Dirty {
 				continue
 			}
 			if f.pin > 0 {
-				p.mu.Unlock()
+				s.mu.Unlock()
 				return fmt.Errorf("%w: page %d", ErrPinned, f.ID)
 			}
 			fr, recLSN = f, f.RecLSN
+			pos = (pos + scanned + 1) % n // resume after the claimed frame
 			break
 		}
 		if fr == nil {
-			p.mu.Unlock()
+			s.mu.Unlock()
 			return nil
 		}
-		p.claimLocked(fr)
-		p.mu.Unlock()
+		s.claimLocked(fr)
+		s.mu.Unlock()
 		if err := p.flushClaimed(w, fr, recLSN); err != nil {
 			return err
 		}
@@ -483,39 +746,49 @@ func (p *Pool) FlushAll(w *sim.Worker) error {
 
 // FlushOldest flushes up to n dirty unpinned frames with the smallest
 // RecLSN — the pages holding back log truncation. Candidates are
-// collected in one pass and sorted, rather than rescanning the whole
-// pool under the mutex for every flush; each is revalidated at claim
-// time since the pool moves on while flushes run.
+// collected in one sweep across all shards and merge-sorted, rather than
+// rescanning the whole pool under a lock for every flush; each is
+// revalidated at claim time since the pool moves on while flushes run.
 func (p *Pool) FlushOldest(w *sim.Worker, n int) (int, error) {
 	type cand struct {
 		fr     *Frame
 		recLSN core.LSN
 	}
-	p.mu.Lock()
-	cands := make([]cand, 0, p.dirty)
-	for _, fr := range p.frames {
-		if fr.Dirty && fr.pin == 0 && !fr.loading {
-			cands = append(cands, cand{fr, fr.RecLSN})
-		}
+	var total int64
+	for i := range p.shards {
+		total += p.shards[i].dirty.Load()
 	}
-	p.mu.Unlock()
-	// Stable sort: ties keep frame order, matching the old repeated-scan
-	// selection exactly.
+	if total < 0 {
+		total = 0
+	}
+	cands := make([]cand, 0, total)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, fr := range s.frames {
+			if fr.Dirty && fr.pin == 0 && !fr.loading {
+				cands = append(cands, cand{fr, fr.RecLSN})
+			}
+		}
+		s.mu.Unlock()
+	}
+	// Stable sort: ties keep shard-then-frame order, matching the old
+	// repeated-scan selection exactly in the single-shard case.
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].recLSN < cands[j].recLSN })
 	flushed := 0
 	for _, c := range cands {
 		if flushed >= n {
 			break
 		}
-		p.mu.Lock()
 		fr := c.fr
+		s := p.lockHome(fr)
 		if !fr.Dirty || fr.pin > 0 || fr.loading {
-			p.mu.Unlock()
-			continue // flushed, reloaded or pinned since the snapshot
+			s.mu.Unlock()
+			continue // flushed, reloaded, pinned or stolen since the snapshot
 		}
 		recLSN := fr.RecLSN
-		p.claimLocked(fr)
-		p.mu.Unlock()
+		s.claimLocked(fr)
+		s.mu.Unlock()
 		if err := p.flushClaimed(w, fr, recLSN); err != nil {
 			return flushed, err
 		}
@@ -525,29 +798,43 @@ func (p *Pool) FlushOldest(w *sim.Worker, n int) (int, error) {
 }
 
 // DirtyPages snapshots the dirty-page table (page → recLSN) for a fuzzy
-// checkpoint.
+// checkpoint, sweeping the shards one at a time.
 func (p *Pool) DirtyPages() map[core.PageID]core.LSN {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	dpt := make(map[core.PageID]core.LSN, p.dirty)
-	for _, fr := range p.frames {
-		if fr.Dirty {
-			dpt[fr.ID] = fr.RecLSN
+	var total int64
+	for i := range p.shards {
+		total += p.shards[i].dirty.Load()
+	}
+	if total < 0 {
+		total = 0
+	}
+	dpt := make(map[core.PageID]core.LSN, total)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, fr := range s.frames {
+			if fr.Dirty {
+				dpt[fr.ID] = fr.RecLSN
+			}
 		}
+		s.mu.Unlock()
 	}
 	return dpt
 }
 
 // OldestRecLSN returns the smallest recLSN across dirty frames, or 0 when
-// nothing is dirty — the page-side bound for log truncation.
+// nothing is dirty — the page-side bound for log truncation. Per-shard
+// minima are aggregated one shard at a time.
 func (p *Pool) OldestRecLSN() core.LSN {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var min core.LSN
-	for _, fr := range p.frames {
-		if fr.Dirty && (min == 0 || fr.RecLSN < min) {
-			min = fr.RecLSN
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, fr := range s.frames {
+			if fr.Dirty && (min == 0 || fr.RecLSN < min) {
+				min = fr.RecLSN
+			}
 		}
+		s.mu.Unlock()
 	}
 	return min
 }
@@ -555,9 +842,10 @@ func (p *Pool) OldestRecLSN() core.LSN {
 // Drop removes an unpinned page from the pool without flushing (used
 // when a page is deallocated). Dropping an absent page is a no-op.
 func (p *Pool) Drop(id core.PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	fr, ok := p.table[id]
+	s := p.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr, ok := s.table[id]
 	if !ok {
 		return nil
 	}
@@ -566,9 +854,9 @@ func (p *Pool) Drop(id core.PageID) error {
 	}
 	if fr.Dirty {
 		fr.Dirty = false
-		p.dirty--
+		s.dirty.Add(-1)
 	}
-	delete(p.table, id)
+	delete(s.table, id)
 	fr.ID = core.InvalidPageID
 	fr.New = false
 	fr.Flushed = nil
@@ -577,8 +865,9 @@ func (p *Pool) Drop(id core.PageID) error {
 
 // Contains reports whether the page is resident.
 func (p *Pool) Contains(id core.PageID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.table[id]
+	s := p.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.table[id]
 	return ok
 }

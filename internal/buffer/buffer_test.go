@@ -292,10 +292,11 @@ func TestFlushAllWithPinnedDirty(t *testing.T) {
 	st := newFakeStore(64)
 	p := newPool(t, 2, st)
 	fr, _ := p.GetNew(nil, 1)
+	s := fr.home.Load()
+	s.mu.Lock()
 	fr.Dirty = true // simulate dirty while pinned
-	p.mu.Lock()
-	p.dirty++
-	p.mu.Unlock()
+	s.dirty.Add(1)
+	s.mu.Unlock()
 	if err := p.FlushAll(nil); !errors.Is(err, ErrPinned) {
 		t.Errorf("FlushAll with pinned dirty: %v", err)
 	}

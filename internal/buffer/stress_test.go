@@ -1,0 +1,231 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ipa/internal/core"
+	"ipa/internal/sim"
+)
+
+// concurrentStore is a goroutine-safe in-memory page store for the
+// concurrency stress tests (fakeStore is deliberately unsynchronised so
+// the deterministic single-threaded tests stay simple).
+type concurrentStore struct {
+	mu    sync.Mutex
+	pages map[core.PageID][]byte
+}
+
+func newConcurrentStore(pageSize int) *concurrentStore {
+	return &concurrentStore{pages: make(map[core.PageID][]byte)}
+}
+
+func (s *concurrentStore) Fetch(w *sim.Worker, id core.PageID, buf []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	img, ok := s.pages[id]
+	if !ok {
+		return 0, fmt.Errorf("concurrentStore: page %d missing", id)
+	}
+	copy(buf, img)
+	return 0, nil
+}
+
+func (s *concurrentStore) Flush(w *sim.Worker, fr *Frame) error {
+	s.mu.Lock()
+	s.pages[fr.ID] = append([]byte(nil), fr.Data...)
+	s.mu.Unlock()
+	fr.Flushed = append(fr.Flushed[:0], fr.Data...)
+	fr.New = false
+	return nil
+}
+
+// TestConcurrentShardStress hammers one pool from every public entry
+// point at once — writer Gets with dirty Unpins, hot same-page reader
+// Gets, Drops racing miss-loads, CleanerPass and FlushOldest — across
+// shards under the race detector, then proves no update was lost: after
+// a final FlushAll every writer-owned page must carry exactly the number
+// of increments its owner applied.
+func TestConcurrentShardStress(t *testing.T) {
+	const (
+		writerCount  = 8
+		pagesPer     = 32
+		writerPages  = writerCount * pagesPer // pages 1..256, one owner each
+		hotLo, hotHi = 257, 264               // shared read-mostly contention set
+		dropLo       = 265
+		dropHi       = 288 // read/drop set: miss-load vs Drop races
+		iters        = 400
+	)
+	st := newConcurrentStore(64)
+	for id := core.PageID(1); id <= dropHi; id++ {
+		img := make([]byte, 64)
+		img[0] = byte(id)
+		st.pages[id] = img
+	}
+	p, err := New(Config{
+		Frames: 96, PageSize: 64, Shards: 8,
+		DirtyThreshold: 0.5, CleanBatch: 8,
+	}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 8 {
+		t.Fatalf("Shards() = %d, want 8", p.Shards())
+	}
+
+	var recLSN atomic.Uint64
+	writes := make([]int, dropHi+1) // per-page increment counts (owner-only writes)
+	var wg sync.WaitGroup
+	fail := make(chan error, writerCount+8)
+
+	// Writers: disjoint page ranges, so content assertions are exact.
+	for g := 0; g < writerCount; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)*2654435761 + 1))
+			local := make([]int, pagesPer)
+			for i := 0; i < iters; i++ {
+				id := core.PageID(g*pagesPer + 1 + rng.Intn(pagesPer))
+				fr, err := p.Get(nil, id)
+				if err != nil {
+					fail <- fmt.Errorf("writer %d get %d: %w", g, id, err)
+					return
+				}
+				fr.Latch()
+				fr.Data[1]++
+				fr.Unlatch()
+				local[int(id)-g*pagesPer-1]++
+				if err := p.Unpin(nil, fr, true, core.LSN(recLSN.Add(1))); err != nil {
+					fail <- err
+					return
+				}
+				// Occasional cross-shard read of the hot set.
+				if i%7 == 0 {
+					hid := core.PageID(hotLo + rng.Intn(hotHi-hotLo+1))
+					hfr, err := p.Get(nil, hid)
+					if err != nil {
+						fail <- fmt.Errorf("writer %d hot get %d: %w", g, hid, err)
+						return
+					}
+					hfr.RLatch()
+					_ = hfr.Data[0]
+					hfr.RUnlatch()
+					if err := p.Unpin(nil, hfr, false, 0); err != nil {
+						fail <- err
+						return
+					}
+				}
+			}
+			for i, n := range local {
+				writes[g*pagesPer+1+i] = n // disjoint slots, no lock needed
+			}
+		}(g)
+	}
+
+	// Readers of the droppable set: every Get may race a Drop (miss-load
+	// protocol) — both outcomes are legal, errors are not.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)*7919 + 5))
+			for i := 0; i < iters; i++ {
+				id := core.PageID(dropLo + rng.Intn(dropHi-dropLo+1))
+				fr, err := p.Get(nil, id)
+				if err != nil {
+					fail <- fmt.Errorf("reader %d get %d: %w", r, id, err)
+					return
+				}
+				fr.RLatch()
+				_ = fr.Data[0]
+				fr.RUnlatch()
+				if err := p.Unpin(nil, fr, false, 0); err != nil {
+					fail <- err
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Dropper: racing Drop against the readers' loads. ErrPinned is the
+	// expected contention outcome, anything else is a bug.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < iters; i++ {
+			id := core.PageID(dropLo + rng.Intn(dropHi-dropLo+1))
+			if err := p.Drop(id); err != nil && !errors.Is(err, ErrPinned) {
+				fail <- fmt.Errorf("drop %d: %w", id, err)
+				return
+			}
+			if i%16 == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	// Maintenance: cleaner passes and oldest-first flushes, concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/2; i++ {
+			if err := p.CleanerPass(nil); err != nil {
+				fail <- fmt.Errorf("cleaner: %w", err)
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/2; i++ {
+			if _, err := p.FlushOldest(nil, 4); err != nil {
+				fail <- fmt.Errorf("flush oldest: %w", err)
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
+	}
+
+	// Quiesced: flush everything and audit durability. Writer pages were
+	// never dropped, and every dirty eviction flushed first, so the store
+	// must hold exactly the owner's increment count.
+	if err := p.FlushAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	if df := p.DirtyFraction(); df != 0 {
+		t.Errorf("DirtyFraction = %v after FlushAll", df)
+	}
+	for id := core.PageID(1); id <= writerPages; id++ {
+		img := st.pages[id]
+		if img == nil {
+			// Never flushed: only possible if never written, i.e. zero
+			// increments — then the preloaded image is still authoritative.
+			if writes[id] != 0 {
+				t.Errorf("page %d: %d writes but never flushed", id, writes[id])
+			}
+			continue
+		}
+		if got, want := img[1], byte(writes[id]); got != want {
+			t.Errorf("page %d: store has %d increments, owner made %d", id, got, want)
+		}
+	}
+	s := p.Stats()
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Errorf("implausible stats after stress: %+v", s)
+	}
+}

@@ -18,6 +18,12 @@ import (
 // newTwoRegionRig builds a device with two independent regions so the
 // concurrency tests exercise parallel fetch/flush across stores.
 func newTwoRegionRig(t *testing.T, frames int) *DB {
+	return newTwoRegionRigShards(t, frames, 0)
+}
+
+// newTwoRegionRigShards is newTwoRegionRig with an explicit buffer-pool
+// shard count (0 = the single-shard default).
+func newTwoRegionRigShards(t *testing.T, frames, poolShards int) *DB {
 	t.Helper()
 	g := flash.Geometry{
 		Chips: 4, BlocksPerChip: 64, PagesPerBlock: 8,
@@ -38,7 +44,10 @@ func newTwoRegionRig(t *testing.T, frames int) *DB {
 			t.Fatal(err)
 		}
 	}
-	db, err := New(dev, Options{PageSize: 512, BufferFrames: frames, DirtyThreshold: 2.0})
+	db, err := New(dev, Options{
+		PageSize: 512, BufferFrames: frames, DirtyThreshold: 2.0,
+		PoolShards: poolShards,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,9 +203,19 @@ func TestConcurrentNoWaitLocking(t *testing.T) {
 // TestConcurrentCrashRecovery crashes the engine with loser transactions
 // in flight (begun, updated, never committed) after a concurrent update
 // storm, and verifies restart recovery preserves exactly the committed
-// state: committed updates survive, loser updates are undone.
+// state: committed updates survive, loser updates are undone. It runs
+// against both the single-shard pool and an 8-way sharded pool —
+// recovery must be oblivious to how the buffer is partitioned.
 func TestConcurrentCrashRecovery(t *testing.T) {
-	db := newTwoRegionRig(t, 32)
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("poolShards=%d", shards), func(t *testing.T) {
+			testConcurrentCrashRecovery(t, shards)
+		})
+	}
+}
+
+func testConcurrentCrashRecovery(t *testing.T, poolShards int) {
+	db := newTwoRegionRigShards(t, 32, poolShards)
 	t1, err := db.CreateTable("t1", "r1")
 	if err != nil {
 		t.Fatal(err)
@@ -305,6 +324,7 @@ func TestOptionsValidate(t *testing.T) {
 		{"reclaim threshold ≥ 1", Options{PageSize: 512, BufferFrames: 16, LogReclaimThreshold: 1.5}, 512},
 		{"negative dirty threshold", Options{PageSize: 512, BufferFrames: 16, DirtyThreshold: -0.5}, 512},
 		{"negative reclaim batch", Options{PageSize: 512, BufferFrames: 16, ReclaimFlushBatch: -3}, 512},
+		{"negative pool shards", Options{PageSize: 512, BufferFrames: 16, PoolShards: -2}, 512},
 	}
 	for _, c := range cases {
 		if err := c.o.Validate(c.flash); !errors.Is(err, ErrBadOptions) {

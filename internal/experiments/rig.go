@@ -191,6 +191,10 @@ func Execute(s Spec) (*Out, error) {
 	opts := engine.Options{
 		PageSize: s.PageSize, BufferFrames: pages + 64,
 		Timeline: tl, UseECC: s.UseECC,
+		// PoolShards stays 1: the paper's update-size and buffer-sweep
+		// tables (1/9/10/11) depend on the deterministic global CLOCK
+		// eviction order, which only the single-shard pool guarantees.
+		PoolShards: 1,
 	}
 	if s.Eager {
 		opts.DirtyThreshold = 0.125

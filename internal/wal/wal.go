@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ipa/internal/core"
 )
@@ -108,25 +109,30 @@ var (
 // Log is an in-memory write-ahead log with byte-accurate space
 // accounting. LSNs are 1-based sequence numbers; the zero LSN means
 // "none".
+//
+// The observable counters (Flushed, Flushes, Absorbed, UsedBytes, Usage)
+// are atomics written under l.mu but read lock-free, so stats sampling
+// (DB.Stats, reclaim-threshold probes) never contends with the
+// group-commit leader holding the mutex.
 type Log struct {
 	mu      sync.Mutex
-	records []Record // records[i] has LSN = firstLSN + i
-	first   core.LSN // LSN of records[0]
-	next    core.LSN // next LSN to assign
-	flushed core.LSN // durable horizon (WAL rule)
+	records []Record      // records[i] has LSN = firstLSN + i
+	first   core.LSN      // LSN of records[0]
+	next    core.LSN      // next LSN to assign
+	flushed atomic.Uint64 // durable horizon (WAL rule), as a core.LSN
 
-	headBytes uint64 // total bytes ever appended
-	tailBytes uint64 // bytes reclaimed
-	capacity  uint64 // log device size; 0 = unbounded
+	headBytes atomic.Uint64 // total bytes ever appended
+	tailBytes atomic.Uint64 // bytes reclaimed
+	capacity  uint64        // log device size; 0 = unbounded
 	sizeAt    []uint64
-	flushes   uint64
+	flushes   atomic.Uint64
 
 	// Group-flush state: one leader flushes on behalf of every committer
 	// whose records are already in the log; followers wait on flushCond
 	// and are absorbed without a device flush of their own.
 	flushCond *sync.Cond
 	flushing  bool
-	absorbed  uint64
+	absorbed  atomic.Uint64
 }
 
 // NewLog creates a log with the given capacity in bytes (0 = unbounded).
@@ -143,8 +149,8 @@ func (l *Log) Append(r Record) core.LSN {
 	r.LSN = l.next
 	l.next++
 	l.records = append(l.records, r)
-	l.headBytes += uint64(r.Size())
-	l.sizeAt = append(l.sizeAt, l.headBytes)
+	head := l.headBytes.Add(uint64(r.Size()))
+	l.sizeAt = append(l.sizeAt, head)
 	return r.LSN
 }
 
@@ -158,9 +164,9 @@ func (l *Log) Flush(lsn core.LSN) {
 	if lsn >= l.next {
 		lsn = l.next - 1
 	}
-	if lsn > l.flushed {
-		l.flushed = lsn
-		l.flushes++
+	if uint64(lsn) > l.flushed.Load() {
+		l.flushed.Store(uint64(lsn))
+		l.flushes.Add(1)
 	}
 }
 
@@ -174,8 +180,8 @@ func (l *Log) GroupFlush(lsn core.LSN) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
-		if l.flushed >= lsn {
-			l.absorbed++
+		if l.flushed.Load() >= uint64(lsn) {
+			l.absorbed.Add(1)
 			return
 		}
 		if !l.flushing {
@@ -189,35 +195,23 @@ func (l *Log) GroupFlush(lsn core.LSN) {
 	// (and followers registering) are not blocked behind it.
 	l.mu.Unlock()
 	l.mu.Lock()
-	if target > l.flushed {
-		l.flushed = target
-		l.flushes++
+	if uint64(target) > l.flushed.Load() {
+		l.flushed.Store(uint64(target))
+		l.flushes.Add(1)
 	}
 	l.flushing = false
 	l.flushCond.Broadcast()
 }
 
 // Absorbed returns how many GroupFlush calls were satisfied by another
-// committer's flush (the group-commit win).
-func (l *Log) Absorbed() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.absorbed
-}
+// committer's flush (the group-commit win). Lock-free.
+func (l *Log) Absorbed() uint64 { return l.absorbed.Load() }
 
-// Flushed returns the durable horizon.
-func (l *Log) Flushed() core.LSN {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.flushed
-}
+// Flushed returns the durable horizon. Lock-free.
+func (l *Log) Flushed() core.LSN { return core.LSN(l.flushed.Load()) }
 
-// Flushes returns how many flush operations moved the horizon.
-func (l *Log) Flushes() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.flushes
-}
+// Flushes returns how many flush operations moved the horizon. Lock-free.
+func (l *Log) Flushes() uint64 { return l.flushes.Load() }
 
 // Get returns the record with the given LSN.
 func (l *Log) Get(lsn core.LSN) (Record, error) {
@@ -287,32 +281,32 @@ func (l *Log) Truncate(lsn core.LSN) {
 	if drop > 0 {
 		var freed uint64
 		if drop == len(l.records) {
-			freed = l.headBytes - l.tailBytes
+			freed = l.headBytes.Load() - l.tailBytes.Load()
 		} else {
-			freed = l.sizeAt[drop-1] - l.tailBytes
+			freed = l.sizeAt[drop-1] - l.tailBytes.Load()
 		}
-		l.tailBytes += freed
+		l.tailBytes.Add(freed)
 		l.records = append([]Record(nil), l.records[drop:]...)
 		l.sizeAt = append([]uint64(nil), l.sizeAt[drop:]...)
 		l.first += core.LSN(drop)
 	}
 }
 
-// UsedBytes is the live log volume.
+// UsedBytes is the live log volume. Lock-free: tail is read before head
+// so the difference never underflows (both only grow, and tail ≤ head at
+// every instant).
 func (l *Log) UsedBytes() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.headBytes - l.tailBytes
+	tail := l.tailBytes.Load()
+	return l.headBytes.Load() - tail
 }
 
 // Usage is the fraction of the log device consumed (0 when unbounded).
+// Lock-free.
 func (l *Log) Usage() float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.capacity == 0 {
 		return 0
 	}
-	return float64(l.headBytes-l.tailBytes) / float64(l.capacity)
+	return float64(l.UsedBytes()) / float64(l.capacity)
 }
 
 // Capacity returns the configured log device size.

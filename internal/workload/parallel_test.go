@@ -15,6 +15,12 @@ import (
 // experiments use, sized so TPC-B mostly hits the buffer but the flush
 // path still exercises all chips.
 func newConcurrentDB(tb testing.TB, frames int) (*engine.DB, *sim.Timeline) {
+	return newConcurrentDBShards(tb, frames, 0)
+}
+
+// newConcurrentDBShards is newConcurrentDB with an explicit buffer-pool
+// shard count (0 = the deterministic single-shard default).
+func newConcurrentDBShards(tb testing.TB, frames, poolShards int) (*engine.DB, *sim.Timeline) {
 	tb.Helper()
 	g := flash.Geometry{
 		Chips: 16, BlocksPerChip: 64, PagesPerBlock: 32,
@@ -37,6 +43,7 @@ func newConcurrentDB(tb testing.TB, frames int) (*engine.DB, *sim.Timeline) {
 	db, err := engine.New(dev, engine.Options{
 		PageSize: 1024, BufferFrames: frames, Timeline: tl,
 		LogCapacity: 1 << 20, LogReclaimThreshold: 0.4,
+		PoolShards: poolShards,
 	})
 	if err != nil {
 		tb.Fatal(err)
@@ -87,37 +94,61 @@ func TestRunParallelTPCB(t *testing.T) {
 //
 //	go test -bench ConcurrentTPCB -run xxx ./internal/workload/
 func BenchmarkConcurrentTPCB(b *testing.B) {
-	for _, workers := range []int{1, 2, 4, 8, 16} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			// Buffer-resident working set: scaling should come from the
-			// engine (lock table, latches, group commit), not from page
-			// misses serialising on the flash chips.
-			db, tl := newConcurrentDB(b, 4096)
-			wl := NewTPCB(db, "main", 4, 2000)
-			loader := tl.NewWorker()
-			if err := wl.Load(loader); err != nil {
-				b.Fatal(err)
-			}
-			terminals := make([]*sim.Worker, workers)
-			for i := range terminals {
-				terminals[i] = tl.NewWorker()
-				terminals[i].SetNow(loader.Now())
-			}
-			b.ResetTimer()
-			total := 2000
-			if b.N > 1 {
-				total = b.N * 100
-			}
-			res, err := RunParallel(wl, terminals, total, 7)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.StopTimer()
-			if res.Transactions == 0 {
-				b.Fatal("no transactions committed")
-			}
-			b.ReportMetric(res.Throughput, "simtx/s")
-			b.ReportMetric(float64(res.Aborted), "aborts")
-		})
+	for _, shards := range []int{1, 16} {
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(b *testing.B) {
+				benchConcurrentTPCB(b, shards, workers)
+			})
+		}
 	}
+}
+
+func benchConcurrentTPCB(b *testing.B, shards, workers int) {
+	// Buffer-resident working set: scaling should come from the
+	// engine (lock table, latches, group commit, pool shards), not
+	// from page misses serialising on the flash chips.
+	db, tl := newConcurrentDBShards(b, 4096, shards)
+	wl := NewTPCB(db, "main", 4, 2000)
+	loader := tl.NewWorker()
+	if err := wl.Load(loader); err != nil {
+		b.Fatal(err)
+	}
+	terminals := make([]*sim.Worker, workers)
+	for i := range terminals {
+		terminals[i] = tl.NewWorker()
+		terminals[i].SetNow(loader.Now())
+	}
+	// Warmup outside the timer: grow the heap, the WAL ring and the
+	// history table to their steady-state footprint so the first count
+	// of a -count=N series measures the same regime as the rest (the
+	// first run otherwise pays the runtime's heap-growth ramp).
+	if _, err := RunParallel(wl, terminals, 5000, 3); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	// One op = 100 *committed* transactions (the unit TPC benchmarks
+	// count): no-wait aborts are retried work the config pays for, not
+	// throughput it delivers, so a config that aborts more must attempt
+	// more inside the timer to finish the same op count.
+	total := 2000
+	if b.N > 1 {
+		total = b.N * 100
+	}
+	var committed, aborted uint64
+	simElapsed := 0.0
+	for seed := int64(7); committed < uint64(total); seed++ {
+		res, err := RunParallel(wl, terminals, total-int(committed), seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Transactions == 0 {
+			b.Fatal("no transactions committed")
+		}
+		committed += res.Transactions
+		aborted += res.Aborted
+		simElapsed += float64(res.Transactions) / res.Throughput
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(committed)/simElapsed, "simtx/s")
+	b.ReportMetric(float64(aborted), "aborts")
 }
