@@ -426,6 +426,15 @@ func (p *Pool) GetNew(w *sim.Worker, id core.PageID) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
+	if exist, raced := s.table[id]; raced {
+		// acquireVictimLocked may drop s.mu (dirty-victim flush, cross-
+		// shard steal); someone may have installed the page meanwhile.
+		// Return that frame and leave the reclaimed one free, instead of
+		// overwriting the table entry and orphaning it.
+		exist.pin++
+		exist.ref = true
+		return exist, nil
+	}
 	fr.ID = id
 	fr.pin = 1
 	fr.ref = true
@@ -671,13 +680,27 @@ func (p *Pool) victimLocked(s *poolShard, w *sim.Worker) (*Frame, error) {
 		}
 		// Dirty victim: flush it outside the shard mutex, then re-check —
 		// another goroutine may have pinned it meanwhile, in which case
-		// the CLOCK hand keeps searching.
+		// the CLOCK hand keeps searching. Unlike the cleaner/checkpoint
+		// paths (flushClaimed), the claim pin is dropped here, under
+		// s.mu, *after* the re-lock: holding it across the unlocked
+		// window keeps the frame anchored to this shard — stealFrame
+		// skips pinned frames and home never changes while pinned — so
+		// the frame cannot end up owned by two shards at once and the
+		// re-check below reads state guarded by the right mutex.
 		recLSN := fr.RecLSN
 		s.claimLocked(fr)
 		s.mu.Unlock()
-		err := p.flushClaimed(w, fr, recLSN)
+		fr.latch.Lock()
+		err := p.store.Flush(w, fr)
+		fr.latch.Unlock()
 		s.mu.Lock()
+		fr.pin--
 		if err != nil {
+			if !fr.Dirty {
+				fr.Dirty = true
+				fr.RecLSN = recLSN
+				s.dirty.Add(1)
+			}
 			return nil, err
 		}
 		s.stats.evictionFlush.Add(1)

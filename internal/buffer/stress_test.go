@@ -229,3 +229,146 @@ func TestConcurrentShardStress(t *testing.T) {
 		t.Errorf("implausible stats after stress: %+v", s)
 	}
 }
+
+// TestStealDirtyEvictionStress targets the cross-shard steal path
+// racing dirty-victim eviction. A thief goroutine over-pins one shard —
+// more distinct pages than the shard has frames — so its victim search
+// exhausts locally and falls through to stealFrame against the other
+// shard, exactly while a writer churns that shard with dirty evictions.
+// This is the window where the eviction path used to drop its claim pin
+// (in flushClaimed) before re-locking the shard, letting the thief
+// re-home the frame so two shards served it at once. The pin is now
+// held across the re-lock, closing the window; this test keeps both
+// paths colliding under -race and audits for the symptoms (lost
+// updates, a frame homed in two shards, shard/frame-count drift).
+func TestStealDirtyEvictionStress(t *testing.T) {
+	const iters = 2000
+	st := newConcurrentStore(64)
+	p, err := New(Config{
+		Frames: 4, PageSize: 64, Shards: 2, DirtyThreshold: 1.0,
+	}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// White-box routing: split page ids by shard so the writer and the
+	// thief each target one shard deliberately.
+	var byShard [2][]core.PageID
+	for id := core.PageID(1); id <= 512; id++ {
+		sh := p.shardOf(id)
+		i := 0
+		if sh == &p.shards[1] {
+			i = 1
+		}
+		if len(byShard[i]) < 8 {
+			byShard[i] = append(byShard[i], id)
+			img := make([]byte, 64)
+			st.mu.Lock()
+			st.pages[id] = img
+			st.mu.Unlock()
+		}
+	}
+	victims, thiefs := byShard[0], byShard[1]
+	writes := make(map[core.PageID]int, len(victims))
+	var wg sync.WaitGroup
+	fail := make(chan error, 2)
+	var stop atomic.Bool
+
+	// Writer: dirty churn over shard 0 — more pages than the whole pool,
+	// so every Get evicts, and with the inline cleaner disabled every
+	// eviction is a dirty-victim flush (the vulnerable window). Runs
+	// until the thief has exhausted its steal-attempt budget.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; !stop.Load(); i++ {
+			id := victims[rng.Intn(len(victims))]
+			fr, err := p.Get(nil, id)
+			if err != nil {
+				if errors.Is(err, ErrNoFrames) {
+					continue // thief holds everything; legal
+				}
+				fail <- fmt.Errorf("writer get %d: %w", id, err)
+				return
+			}
+			fr.Latch()
+			fr.Data[1]++
+			fr.Unlatch()
+			writes[id]++
+			if err := p.Unpin(nil, fr, true, core.LSN(i+1)); err != nil {
+				fail <- err
+				return
+			}
+		}
+	}()
+
+	// Thief: pin more distinct shard-1 pages than shard 1 owns frames.
+	// The over-capacity Gets exhaust the local CLOCK and spin in
+	// stealFrame against shard 0, grabbing clean unpinned frames there —
+	// including, pre-fix, frames mid dirty-eviction.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for i := 0; i < iters; i++ {
+			held := make([]*Frame, 0, len(thiefs))
+			for _, id := range thiefs[:5] {
+				fr, err := p.Get(nil, id)
+				if err != nil {
+					if errors.Is(err, ErrNoFrames) {
+						break // pool exhausted; release and retry
+					}
+					fail <- fmt.Errorf("thief get %d: %w", id, err)
+					return
+				}
+				held = append(held, fr)
+			}
+			for _, fr := range held {
+				if err := p.Unpin(nil, fr, false, 0); err != nil {
+					fail <- err
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Fatal(err)
+	}
+	if err := p.FlushAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range writes {
+		st.mu.Lock()
+		got := st.pages[id][1]
+		st.mu.Unlock()
+		if got != byte(want) {
+			t.Errorf("page %d: store has %d increments, writer made %d", id, got, want)
+		}
+	}
+	// Every frame must be owned by exactly one shard, and agree on home.
+	seen := make(map[*Frame]int)
+	total := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, fr := range s.frames {
+			seen[fr]++
+			if fr.home.Load() != s {
+				t.Errorf("shard %d holds frame whose home is another shard", i)
+			}
+		}
+		total += len(s.frames)
+		s.mu.Unlock()
+	}
+	if total != p.Size() {
+		t.Errorf("frames across shards = %d, want %d", total, p.Size())
+	}
+	for fr, n := range seen {
+		if n != 1 {
+			t.Errorf("frame %p appears in %d shards", fr, n)
+		}
+	}
+}
