@@ -2,7 +2,7 @@
 # lands. `make check` is what CI (and ROADMAP.md) means by tier-1.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-all fmt fmt-check
+.PHONY: check vet build test race bench bench-prev bench-all fmt fmt-check
 
 check: fmt-check vet build race
 
@@ -26,32 +26,34 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Perf trajectory: the hot-path micro-benchmarks, the buffer-pool hit
-# path (sharded vs unsharded, 1→16 goroutines), the 16-chip concurrency
-# macro-benchmark (sharded vs unsharded pool), and the
-# inline-vs-background GC interference benchmark, 5 counts each,
-# recorded as JSON evidence. The TPC-B macro-bench runs a fixed
-# iteration count (-benchtime 3000x = 300k committed transactions) so
-# every count measures the same steady-state regime — adaptive
-# benchtime mixes short warm-cache runs with long eviction-bound ones
-# and the counts stop being comparable. Its 5 counts are taken as 5
-# separate -count=1 invocations rather than one -count=5 block: the
-# box is a shared VM with multi-minute slow phases (CPU steal), and
-# interleaving keeps each sharded-vs-unsharded pair seconds apart
-# under the same machine conditions instead of minutes apart.
-BENCH_OUT ?= BENCH_PR4.json
+# Perf evidence for the current PR: the network service benchmark —
+# end-to-end TPC-B over the wire protocol across a connections ×
+# pipelining-depth grid, fixed iteration count (-benchtime 2000x) so
+# every count measures the same steady-state regime, 5 counts recorded
+# as JSON (tx/s plus client-observed p50/p99 in ns). The historical
+# micro/macro benches from earlier PRs remain runnable via bench-prev
+# (their evidence lives in BENCH_PR2..PR4.json).
+BENCH_OUT ?= BENCH_PR5.json
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkPageDiff$$|BenchmarkFlashProgramDelta$$' \
-		-benchmem -count=5 . > /tmp/bench_raw.txt
-	$(GO) test -run xxx -bench 'BenchmarkBufferGet' \
-		-benchmem -count=5 ./internal/buffer/ >> /tmp/bench_raw.txt
+	rm -f /tmp/bench_raw.txt
 	for i in 1 2 3 4 5; do \
-		$(GO) test -run xxx -bench 'BenchmarkConcurrentTPCB' -benchtime 3000x \
-			-benchmem ./internal/workload/ >> /tmp/bench_raw.txt || exit 1; done
-	$(GO) test -run xxx -bench 'BenchmarkGCInterference' -benchtime 1000000x \
-		-count=5 ./internal/noftl/ >> /tmp/bench_raw.txt
+		$(GO) test -run xxx -bench 'BenchmarkServerTPCB' -benchtime 2000x \
+			-benchmem ./internal/server/ >> /tmp/bench_raw.txt || exit 1; done
 	cat /tmp/bench_raw.txt
 	$(GO) run ./cmd/benchjson < /tmp/bench_raw.txt > $(BENCH_OUT)
+	rm -f /tmp/bench_raw.txt
+
+bench-prev:
+	$(GO) test -run xxx -bench 'BenchmarkPageDiff$$|BenchmarkFlashProgramDelta$$' \
+		-benchmem -count=5 . > /tmp/bench_prev.txt
+	$(GO) test -run xxx -bench 'BenchmarkBufferGet' \
+		-benchmem -count=5 ./internal/buffer/ >> /tmp/bench_prev.txt
+	for i in 1 2 3 4 5; do \
+		$(GO) test -run xxx -bench 'BenchmarkConcurrentTPCB' -benchtime 3000x \
+			-benchmem ./internal/workload/ >> /tmp/bench_prev.txt || exit 1; done
+	$(GO) test -run xxx -bench 'BenchmarkGCInterference' -benchtime 1000000x \
+		-count=5 ./internal/noftl/ >> /tmp/bench_prev.txt
+	cat /tmp/bench_prev.txt
 
 bench-all:
 	$(GO) test -bench=. -benchmem -run xxx ./...

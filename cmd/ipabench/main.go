@@ -8,6 +8,12 @@
 //	ipabench -exp all             # everything (slow)
 //	ipabench -exp table9 -quick   # reduced scale
 //	ipabench -list                # enumerate experiment ids
+//
+// With -net it instead acts as a TCP bench client against a running
+// ipaserver, driving pipelined TPC-B transactions over the wire
+// protocol:
+//
+//	ipabench -net 127.0.0.1:7070 -conns 16 -tx 500
 package main
 
 import (
@@ -28,8 +34,19 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (table1..table11, fig1, fig6..fig10, or 'all')")
 	quick := flag.Bool("quick", false, "reduced scale for fast runs")
 	list := flag.Bool("list", false, "list experiment ids")
+	netAddr := flag.String("net", "", "bench a running ipaserver at this address instead of an experiment")
+	conns := flag.Int("conns", 8, "client connections for -net")
+	txPerConn := flag.Int("tx", 500, "transactions per connection for -net")
+	seed := flag.Int64("seed", 42, "rng seed for -net")
 	flag.Parse()
 
+	if *netAddr != "" {
+		if err := runNet(*netAddr, *conns, *txPerConn, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "ipabench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, id := range ids {
 			fmt.Println(id)

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ipa/internal/client"
+	"ipa/internal/metrics"
+	"ipa/internal/workload"
+)
+
+// netResult aggregates one connection's share of a network bench run.
+type netResult struct {
+	committed int
+	aborted   int
+	err       error
+}
+
+// runNet drives TPC-B over TCP against a running ipaserver: conns
+// connections, each executing txPerConn Account_Update transactions
+// (pipelined, two round trips each), reporting wall-clock throughput
+// and client-observed latency percentiles.
+func runNet(addr string, conns, txPerConn int, seed int64) error {
+	pool := client.NewPool(addr, client.Options{})
+	defer pool.Close()
+
+	// One connection to discover the schema → RID maps, shared by all.
+	c0, err := pool.Get()
+	if err != nil {
+		return fmt.Errorf("connect %s: %w", addr, err)
+	}
+	drv := workload.NewNetTPCB()
+	if err := drv.Init(c0); err != nil {
+		return err
+	}
+	pool.Put(c0)
+
+	lat := make([]*metrics.Latency, conns)
+	results := make([]netResult, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		lat[i] = &metrics.Latency{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := pool.Get()
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer pool.Put(c)
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			for t := 0; t < txPerConn; t++ {
+				t0 := time.Now()
+				err := drv.RunOne(c, rng)
+				lat[i].Add(time.Since(t0))
+				switch {
+				case err == nil:
+					results[i].committed++
+				case workload.Aborted(err):
+					results[i].aborted++
+				default:
+					results[i].err = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := &metrics.Latency{}
+	var committed, aborted int
+	for i := range results {
+		if results[i].err != nil {
+			return fmt.Errorf("connection %d: %w", i, results[i].err)
+		}
+		committed += results[i].committed
+		aborted += results[i].aborted
+		total.Merge(lat[i])
+	}
+	fmt.Printf("# TPC-B over TCP: %s, %d connections x %d tx\n", addr, conns, txPerConn)
+	fmt.Printf("%-22s %12d\n", "committed", committed)
+	fmt.Printf("%-22s %12d\n", "aborted", aborted)
+	fmt.Printf("%-22s %12.0f\n", "tx/s (wall clock)", float64(committed+aborted)/elapsed.Seconds())
+	fmt.Printf("%-22s %12v\n", "latency p50", total.Quantile(0.50))
+	fmt.Printf("%-22s %12v\n", "latency p99", total.Quantile(0.99))
+	fmt.Printf("%-22s %12v\n", "latency mean", total.Mean())
+	return nil
+}

@@ -1,0 +1,148 @@
+// Command ipaserver runs the IPA storage engine behind the wire
+// protocol: it builds the simulated flash array, a NoFTL region with
+// in-place appends enabled, opens the engine over it, optionally
+// preloads the TPC-B tables, and serves TCP clients until SIGINT or
+// SIGTERM triggers a graceful drain (finish accepted requests, abort
+// orphaned transactions, close the database).
+//
+// Usage:
+//
+//	ipaserver                         # preload TPC-B scale 1, serve :7070
+//	ipaserver -scale 4 -addr :9000    # bigger preload, custom port
+//	ipaserver -scale 0 -ipa=false     # empty engine, IPA off
+//
+// The admin endpoint (default :7071) serves GET /stats — engine
+// counters plus per-op latency histograms as JSON — and /healthz.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ipa/internal/core"
+	"ipa/internal/engine"
+	"ipa/internal/flash"
+	"ipa/internal/noftl"
+	"ipa/internal/server"
+	"ipa/internal/sim"
+	"ipa/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "wire-protocol listen address")
+	admin := flag.String("admin", "127.0.0.1:7071", "admin HTTP listen address (empty disables)")
+	scale := flag.Int("scale", 1, "TPC-B branches to preload (0 skips the preload)")
+	accounts := flag.Int("accounts", 2000, "TPC-B accounts per branch")
+	pageSize := flag.Int("page-size", 4096, "engine page size in bytes")
+	chips := flag.Int("chips", 16, "flash chips (parallel units)")
+	ipa := flag.Bool("ipa", true, "enable in-place appends ([2x3] scheme) on the data region")
+	inflight := flag.Int("inflight", 256, "global in-flight request cap")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+
+	db, tl, err := buildStack(*pageSize, *chips, *scale, *accounts, *ipa)
+	if err != nil {
+		log.Fatalf("ipaserver: %v", err)
+	}
+
+	srv, err := server.New(server.Config{
+		DB: db, Timeline: tl, MaxInflight: *inflight, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("ipaserver: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ipaserver: %v", err)
+	}
+	log.Printf("ipaserver: serving on %s", ln.Addr())
+	if *admin != "" {
+		adminLn, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("ipaserver: admin: %v", err)
+		}
+		log.Printf("ipaserver: admin on http://%s/stats", adminLn.Addr())
+		go func() {
+			if err := srv.ServeAdmin(adminLn); err != nil {
+				log.Printf("ipaserver: admin: %v", err)
+			}
+		}()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatalf("ipaserver: serve: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("ipaserver: %v: draining (timeout %v)", s, *drain)
+		if err := srv.Shutdown(*drain); err != nil {
+			log.Fatalf("ipaserver: shutdown: %v", err)
+		}
+		<-serveErr
+		log.Printf("ipaserver: database closed cleanly")
+	}
+}
+
+// buildStack assembles flash → NoFTL region → engine, sized for the
+// requested TPC-B preload, and loads the tables.
+func buildStack(pageSize, chips, scale, accountsPerBranch int, ipa bool) (*engine.DB, *sim.Timeline, error) {
+	accounts := scale * accountsPerBranch
+	dataBytes := accounts*120 + accounts*20 + 1<<20
+	pages := dataBytes/pageSize + 64
+	capPages := pages * 3
+	pagesPerBlock := 64
+	blocksPerChip := capPages/(chips*pagesPerBlock) + 4
+
+	g := flash.Geometry{
+		Chips: chips, BlocksPerChip: blocksPerChip, PagesPerBlock: pagesPerBlock,
+		PageSize: pageSize, OOBSize: pageSize / 16, Cell: flash.SLC,
+	}
+	tl := sim.NewTimeline(chips)
+	arr, err := flash.New(flash.Config{
+		Geometry: g, Timing: flash.SLCTiming(), StrictProgramOrder: true, MaxAppends: 8,
+	}, tl)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev := noftl.Open(arr)
+	scheme := core.NewScheme(2, 3)
+	mode := noftl.ModeSLC
+	if !ipa {
+		scheme = core.Scheme{}
+		mode = noftl.ModeNone
+	}
+	if _, err := dev.CreateRegion(noftl.RegionConfig{
+		Name: "data", Mode: mode, Scheme: scheme,
+		BlocksPerChip: blocksPerChip, OverProvision: 0.10,
+	}); err != nil {
+		return nil, nil, err
+	}
+	db, err := engine.New(dev, engine.Options{
+		PageSize: pageSize, BufferFrames: pages + 64, Timeline: tl,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if scale > 0 {
+		wl := workload.NewTPCB(db, "data", scale, accountsPerBranch)
+		start := time.Now()
+		if err := wl.Load(tl.NewWorker()); err != nil {
+			return nil, nil, err
+		}
+		log.Printf("ipaserver: preloaded TPC-B scale %d (%d accounts) in %v",
+			scale, wl.Accounts(), time.Since(start).Round(time.Millisecond))
+	}
+	return db, tl, nil
+}

@@ -107,7 +107,7 @@ func run(scheme core.Scheme) outcome {
 	if err := db.FlushAll(w); err != nil {
 		log.Fatal(err)
 	}
-	es := db.Stats()
+	es := stats(db)
 	rs := es.Regions["bank"]
 	stats := es.Stores["bank"]
 	gross := float64(rs.OutOfPlaceWrites)*4096 + float64(rs.DeltaWrites)*float64(scheme.RecordSize())
@@ -125,4 +125,13 @@ func run(scheme core.Scheme) outcome {
 		ipaFrac:    rs.IPAFraction(),
 		wa:         wa,
 	}
+}
+
+// stats snapshots the engine, exiting on error.
+func stats(db *engine.DB) engine.Stats {
+	s, err := db.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
 }

@@ -61,7 +61,7 @@ func main() {
 	// 4. Insert a row: id(8) balance(8) name(32).
 	schema, _ := engine.NewSchema(8, 8, 32)
 	w := tl.NewWorker()
-	tx := db.Begin(w)
+	tx := begin(db, w)
 	row := schema.New()
 	schema.SetUint(row, 0, 1)
 	schema.SetUint(row, 1, 1000)
@@ -78,7 +78,7 @@ func main() {
 	}
 
 	// 5. A small update: balance += 42 changes one byte of net data.
-	tx = db.Begin(w)
+	tx = begin(db, w)
 	cur, _ := tbl.Read(w, rid)
 	schema.AddUint(cur, 1, 42)
 	if err := tbl.Update(tx, rid, cur); err != nil {
@@ -93,7 +93,7 @@ func main() {
 
 	// 6. Show what happened at each layer — one engine.Stats snapshot
 	//    covers the region, the store and the raw flash array.
-	es := db.Stats()
+	es := stats(db)
 	rs := es.Regions["hot"]
 	fs := es.Flash
 	fmt.Printf("\nafter one insert + one small update:\n")
@@ -117,4 +117,22 @@ func main() {
 		log.Fatal("balance mismatch!")
 	}
 	fmt.Println("OK")
+}
+
+// begin starts a transaction, exiting on error (examples run on an open DB).
+func begin(db *engine.DB, w *sim.Worker) *engine.Tx {
+	tx, err := db.Begin(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tx
+}
+
+// stats snapshots the engine, exiting on error.
+func stats(db *engine.DB) engine.Stats {
+	s, err := db.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
 }

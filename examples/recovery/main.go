@@ -52,7 +52,7 @@ func main() {
 	w := tl.NewWorker()
 
 	// Committed base state: two rows, flushed out-of-place.
-	tx := db.Begin(w)
+	tx := begin(db, w)
 	row := schema.New()
 	schema.SetUint(row, 0, 1)
 	schema.SetUint(row, 1, 100)
@@ -67,7 +67,7 @@ func main() {
 	fmt.Println("base state on flash: A=100, B=200")
 
 	// Committed small update → delta-record on flash.
-	tx = db.Begin(w)
+	tx = begin(db, w)
 	cur, _ := tbl.Read(w, ridA)
 	schema.AddUint(cur, 1, 11)
 	tbl.Update(tx, ridA, cur)
@@ -77,13 +77,13 @@ func main() {
 	db.FlushAll(w)
 
 	// Uncommitted update, stolen to flash as another delta-record.
-	loser := db.Begin(w)
+	loser := begin(db, w)
 	cur, _ = tbl.Read(w, ridB)
 	schema.SetUint(cur, 1, 999)
 	tbl.Update(loser, ridB, cur)
 	db.FlushAll(w)
 
-	rs := db.Stats().Regions["data"]
+	rs := stats(db).Regions["data"]
 	fmt.Printf("before crash: %d out-of-place writes, %d in-place appends on flash\n",
 		rs.OutOfPlaceWrites, rs.DeltaWrites)
 	fmt.Println("committed: A += 11 (as delta-record); uncommitted: B = 999 (stolen, as delta-record)")
@@ -110,4 +110,22 @@ func main() {
 	}
 	fmt.Println("OK — committed work survived, the loser was rolled back,")
 	fmt.Println("and redo/undo ran over pages rebuilt from flash + delta-records.")
+}
+
+// begin starts a transaction, exiting on error (examples run on an open DB).
+func begin(db *engine.DB, w *sim.Worker) *engine.Tx {
+	tx, err := db.Begin(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tx
+}
+
+// stats snapshots the engine, exiting on error.
+func stats(db *engine.DB) engine.Stats {
+	s, err := db.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
 }

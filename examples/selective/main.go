@@ -68,7 +68,7 @@ func main() {
 	// Load.
 	var stockRIDs, custRIDs []core.RID
 	load := func(tbl *engine.Table, n int, out *[]core.RID) {
-		tx := db.Begin(w)
+		tx := begin(db, w)
 		for i := 0; i < n; i++ {
 			tup := sch.New()
 			sch.SetUint(tup, 0, uint64(i))
@@ -93,7 +93,7 @@ func main() {
 	// sees moderate updates, history only appends.
 	fmt.Println("running 6000 mixed operations ...")
 	for i := 0; i < 6000; i++ {
-		tx := db.Begin(w)
+		tx := begin(db, w)
 		switch {
 		case i%10 < 7: // hot: stock quantity -= q
 			rid := stockRIDs[rng.Intn(len(stockRIDs))]
@@ -130,7 +130,7 @@ func main() {
 
 	fmt.Printf("\n%-8s %-8s %-8s %10s %10s %10s %8s\n",
 		"region", "mode", "scheme", "oop", "appends", "gc-erases", "ipa%")
-	es := db.Stats()
+	es := stats(db)
 	for _, name := range []string{"rgHot", "rgWarm", "rgCold"} {
 		st := db.Store(name)
 		rs := es.Regions[name]
@@ -150,4 +150,22 @@ func main() {
 		fmt.Printf("  %-12s → %-7v covers %3.0f%% per record, %.2f%% space\n",
 			goal, rec.Scheme, 100*rec.CoveredFraction, 100*rec.SpaceOverhead)
 	}
+}
+
+// begin starts a transaction, exiting on error (examples run on an open DB).
+func begin(db *engine.DB, w *sim.Worker) *engine.Tx {
+	tx, err := db.Begin(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tx
+}
+
+// stats snapshots the engine, exiting on error.
+func stats(db *engine.DB) engine.Stats {
+	s, err := db.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
 }

@@ -66,7 +66,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	es := db.Stats()
+	es := stats(db)
 	gross := es.Stores["graph"].GrossBytes
 	fmt.Printf("\nupdate-size CDF (gross bytes changed per 8KB page, %d update I/Os):\n", gross.Count())
 	for _, th := range []int{10, 25, 50, 100, 125, 200, 400} {
@@ -80,4 +80,13 @@ func main() {
 	fmt.Printf("  out-of-place page writes           : %d\n", rs.OutOfPlaceWrites)
 	fmt.Printf("  GC erases                          : %d\n", rs.GCErases)
 	fmt.Println("\n(the paper reports 28-47% of LinkBench update I/Os as appends, Table 3/Fig. 6)")
+}
+
+// stats snapshots the engine, exiting on error.
+func stats(db *engine.DB) engine.Stats {
+	s, err := db.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
 }

@@ -1,0 +1,149 @@
+package client
+
+import (
+	"fmt"
+
+	"ipa/internal/wire"
+)
+
+// Begin opens a transaction under a fresh handle and returns it.
+func (c *Conn) Begin() (uint64, error) {
+	tx := c.NewTxID()
+	_, err := c.do(wire.OpBegin, wire.NewBuilder(8).Uint64(tx).Bytes())
+	return tx, err
+}
+
+// BeginAsync opens a transaction under the given handle (from NewTxID)
+// without waiting for the response.
+func (c *Conn) BeginAsync(tx uint64) *Pending {
+	return c.send(wire.OpBegin, wire.NewBuilder(8).Uint64(tx).Bytes())
+}
+
+// Commit commits a transaction.
+func (c *Conn) Commit(tx uint64) error {
+	_, err := c.do(wire.OpCommit, wire.NewBuilder(8).Uint64(tx).Bytes())
+	return err
+}
+
+// CommitAsync pipelines a commit.
+func (c *Conn) CommitAsync(tx uint64) *Pending {
+	return c.send(wire.OpCommit, wire.NewBuilder(8).Uint64(tx).Bytes())
+}
+
+// Abort rolls a transaction back.
+func (c *Conn) Abort(tx uint64) error {
+	_, err := c.do(wire.OpAbort, wire.NewBuilder(8).Uint64(tx).Bytes())
+	return err
+}
+
+// Insert adds a tuple and returns its record id.
+func (c *Conn) Insert(tx uint64, table string, data []byte) (wire.RID, error) {
+	f, err := c.InsertAsync(tx, table, data).Wait()
+	if err != nil {
+		return wire.RID{}, err
+	}
+	r := wire.NewReader(f.Payload)
+	rid := r.RID()
+	return rid, r.Err()
+}
+
+// InsertAsync pipelines an insert; Wait's frame payload is the rid.
+func (c *Conn) InsertAsync(tx uint64, table string, data []byte) *Pending {
+	p := wire.NewBuilder(16 + len(table) + len(data)).
+		Uint64(tx).String(table).Blob(data).Bytes()
+	return c.send(wire.OpInsert, p)
+}
+
+// Read fetches a committed tuple outside any transaction.
+func (c *Conn) Read(table string, rid wire.RID) ([]byte, error) {
+	p := wire.NewBuilder(16 + len(table)).String(table).RID(rid).Bytes()
+	f, err := c.do(wire.OpRead, p)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(f.Payload)
+	data := r.Blob()
+	return data, r.Err()
+}
+
+// ReadAsync pipelines a read; Wait's frame payload is the tuple blob.
+func (c *Conn) ReadAsync(table string, rid wire.RID) *Pending {
+	p := wire.NewBuilder(16 + len(table)).String(table).RID(rid).Bytes()
+	return c.send(wire.OpRead, p)
+}
+
+// Update rewrites a whole tuple.
+func (c *Conn) Update(tx uint64, table string, rid wire.RID, data []byte) error {
+	_, err := c.UpdateAsync(tx, table, rid, data).Wait()
+	return err
+}
+
+// UpdateAsync pipelines a whole-tuple update.
+func (c *Conn) UpdateAsync(tx uint64, table string, rid wire.RID, data []byte) *Pending {
+	p := wire.NewBuilder(24 + len(table) + len(data)).
+		Uint64(tx).String(table).RID(rid).Blob(data).Bytes()
+	return c.send(wire.OpUpdate, p)
+}
+
+// UpdateField rewrites `val` bytes at byte offset `off` of a tuple —
+// the small in-place delta the IPA engine turns into an OOB append.
+func (c *Conn) UpdateField(tx uint64, table string, rid wire.RID, off int, val []byte) error {
+	_, err := c.UpdateFieldAsync(tx, table, rid, off, val).Wait()
+	return err
+}
+
+// UpdateFieldAsync pipelines a field update.
+func (c *Conn) UpdateFieldAsync(tx uint64, table string, rid wire.RID, off int, val []byte) *Pending {
+	p := wire.NewBuilder(28 + len(table) + len(val)).
+		Uint64(tx).String(table).RID(rid).Uint32(uint32(off)).Blob(val).Bytes()
+	return c.send(wire.OpUpdateField, p)
+}
+
+// Delete removes a tuple.
+func (c *Conn) Delete(tx uint64, table string, rid wire.RID) error {
+	p := wire.NewBuilder(24 + len(table)).Uint64(tx).String(table).RID(rid).Bytes()
+	_, err := c.do(wire.OpDelete, p)
+	return err
+}
+
+// ScanEntry is one tuple returned by Scan.
+type ScanEntry struct {
+	RID  wire.RID
+	Data []byte
+}
+
+// Scan returns up to limit committed tuples of a table (0 = all).
+func (c *Conn) Scan(table string, limit uint32) ([]ScanEntry, error) {
+	p := wire.NewBuilder(8 + len(table)).String(table).Uint32(limit).Bytes()
+	f, err := c.do(wire.OpScan, p)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(f.Payload)
+	count := r.Uint32()
+	out := make([]ScanEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		out = append(out, ScanEntry{RID: r.RID(), Data: r.Blob()})
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("client: malformed SCAN response: %w", err)
+	}
+	return out, nil
+}
+
+// Stats fetches the server's stats document as raw JSON.
+func (c *Conn) Stats() ([]byte, error) {
+	f, err := c.do(wire.OpStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(f.Payload)
+	raw := r.Blob()
+	return raw, r.Err()
+}
+
+// Ping round-trips an empty frame.
+func (c *Conn) Ping() error {
+	_, err := c.do(wire.OpPing, nil)
+	return err
+}

@@ -1,0 +1,70 @@
+package client
+
+import "sync"
+
+// Pool hands out connections to one server address, reusing healthy
+// idle connections and dialing (with the Options' bounded retry) when
+// none are available. Callers Get a connection, use it — possibly for
+// many pipelined requests — and Put it back.
+type Pool struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	idle   []*Conn
+	closed bool
+}
+
+// NewPool creates a pool for addr. No connections are dialed until Get.
+func NewPool(addr string, opts Options) *Pool {
+	return &Pool{addr: addr, opts: opts.withDefaults()}
+}
+
+// Get returns an idle connection or dials a new one.
+func (p *Pool) Get() (*Conn, error) {
+	p.mu.Lock()
+	for len(p.idle) > 0 {
+		c := p.idle[len(p.idle)-1]
+		p.idle = p.idle[:len(p.idle)-1]
+		if c.Healthy() {
+			p.mu.Unlock()
+			return c, nil
+		}
+		c.Close()
+	}
+	p.mu.Unlock()
+	return Dial(p.addr, p.opts)
+}
+
+// Put returns a connection to the pool; broken connections are closed
+// instead of being recycled.
+func (p *Pool) Put(c *Conn) {
+	if c == nil {
+		return
+	}
+	if !c.Healthy() {
+		c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Close closes every idle connection; connections currently checked
+// out are the caller's to close.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+}

@@ -57,7 +57,7 @@ func newTwoRegionRigShards(t *testing.T, frames, poolShards int) *DB {
 func seedTuples(t *testing.T, db *DB, tbl *Table, n int, tag byte) []core.RID {
 	t.Helper()
 	rids := make([]core.RID, n)
-	tx := db.Begin(nil)
+	tx := mustBegin(db, nil)
 	for i := range rids {
 		rid, err := tbl.Insert(tx, []byte(fmt.Sprintf("%c seed %04d value 0000000000", tag, i)))
 		if err != nil {
@@ -126,7 +126,7 @@ func TestConcurrentNoWaitLocking(t *testing.T) {
 			}
 			lastCommitted[g] = last
 			for it := 0; it < itersPerWorker; it++ {
-				tx := db.Begin(nil)
+				tx := mustBegin(db, nil)
 				// Touch a hot tuple: a lock conflict here is expected and
 				// aborts the transaction.
 				hrid := hotSet[rng.Intn(len(hotSet))]
@@ -249,7 +249,7 @@ func testConcurrentCrashRecovery(t *testing.T, poolShards int) {
 				fmt.Sprintf("%c seed %04d value 0000000000", 'a'+byte(g), 2),
 			}
 			committed[g] = vals
-			tx := db.Begin(nil)
+			tx := mustBegin(db, nil)
 			if err := tbl.Update(tx, rids[g][0], []byte(vals[0])); err != nil {
 				errCh <- err
 				return
@@ -263,7 +263,7 @@ func testConcurrentCrashRecovery(t *testing.T, poolShards int) {
 				return
 			}
 			// Loser: updates tuple 1 and deletes tuple 2, never commits.
-			loser := db.Begin(nil)
+			loser := mustBegin(db, nil)
 			if err := tbl.Update(loser, rids[g][1], []byte(fmt.Sprintf("%c LOSER!!!-1 value 00000000", 'a'+byte(g)))); err != nil {
 				errCh <- err
 				return
@@ -342,7 +342,7 @@ func TestErrorSentinels(t *testing.T) {
 	if err := db.Exec("CREATE TABLESPACE ts (REGION=nope)"); !errors.Is(err, ErrNoRegion) {
 		t.Errorf("Exec tablespace = %v, want ErrNoRegion", err)
 	}
-	tx := db.Begin(nil)
+	tx := mustBegin(db, nil)
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +392,7 @@ func TestBackgroundMaintenance(t *testing.T) {
 
 	deadline := time.Now().Add(10 * time.Second)
 	for round := 0; ; round++ {
-		tx := db.Begin(nil)
+		tx := mustBegin(db, nil)
 		for i, rid := range rids {
 			val := fmt.Sprintf("m seed %04d value %010d", i, round)
 			if err := tbl.Update(tx, rid, []byte(val)); err != nil {
@@ -402,7 +402,10 @@ func TestBackgroundMaintenance(t *testing.T) {
 		if err := tx.Commit(); err != nil {
 			t.Fatal(err)
 		}
-		s := db.Stats()
+		s, err := db.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if s.Pool.CleanerFlushes > 0 && s.LogReclaims > 0 && s.Checkpoints > 0 {
 			break
 		}

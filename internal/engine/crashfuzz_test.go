@@ -38,7 +38,7 @@ func runCrashFuzz(t *testing.T, seed int64) {
 	committed := map[core.RID]uint64{}
 
 	// Base rows.
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	var rids []core.RID
 	for i := 0; i < 30; i++ {
 		tup := sch.New()
@@ -62,7 +62,7 @@ func runCrashFuzz(t *testing.T, seed int64) {
 		// ErrLockConflict (no-wait 2PL) and abort the whole transaction.
 		var open []*Tx
 		for i := 0; i < 10; i++ {
-			tx := r.db.Begin(nil)
+			tx := mustBegin(r.db, nil)
 			mods := map[core.RID]uint64{}
 			nOps := 1 + rng.Intn(4)
 			conflicted := false
@@ -141,7 +141,7 @@ func TestCrashDuringHeavyStealing(t *testing.T) {
 	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 4), 4, false)
 	tbl, _ := r.db.CreateTable("t", "main")
 	sch, _ := NewSchema(8, 120)
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	var rids []core.RID
 	for i := 0; i < 40; i++ {
 		tup := sch.New()
@@ -155,7 +155,7 @@ func TestCrashDuringHeavyStealing(t *testing.T) {
 	tx.Commit()
 
 	// One loser touching every row; the 4-frame pool steals constantly.
-	loser := r.db.Begin(nil)
+	loser := mustBegin(r.db, nil)
 	for _, rid := range rids {
 		cur, err := tbl.Read(nil, rid)
 		if err != nil {

@@ -20,6 +20,13 @@ var (
 	ErrNoRegion = errors.New("engine: no such region")
 	// ErrBadOptions is returned by Options.Validate for nonsense configs.
 	ErrBadOptions = errors.New("engine: invalid options")
+	// ErrClosed is returned by Begin, Checkpoint and Stats once Close has
+	// returned. The flag is raised under the engine state latch before the
+	// maintenance goroutine is drained, so a caller that observes Close
+	// returning can rely on every later Begin failing — the server layer's
+	// graceful shutdown depends on this being deterministic, not a race
+	// against the drain.
+	ErrClosed = errors.New("engine: database closed")
 )
 
 // Options configures a database instance.
@@ -175,7 +182,14 @@ type DB struct {
 	maintCh   chan struct{}
 	maintStop chan struct{}
 	maintWG   sync.WaitGroup
-	closeOnce sync.Once
+
+	// closed is raised by Close (under stateMu exclusive) and lowered by
+	// SimulateCrash, which models a process restart and therefore reopens
+	// the instance. closeMu serialises Close calls so repeats return the
+	// first outcome instead of double-draining the maintenance goroutine.
+	closed   atomic.Bool
+	closeMu  sync.Mutex
+	closeErr error
 
 	maintErrMu sync.Mutex
 	maintErr   error
@@ -235,8 +249,10 @@ func New(dev *noftl.Device, opts Options) (*DB, error) {
 		db.cleaner = opts.Timeline.NewWorker()
 	}
 	if opts.BackgroundMaintenance {
+		// maintCh is created exactly once: pokeMaintenance reads it
+		// without synchronisation, so restarts only replace the stop
+		// channel and the goroutine, never the poke channel.
 		db.maintCh = make(chan struct{}, 1)
-		db.maintStop = make(chan struct{})
 	}
 	pool, err := db.newPool(opts.BufferFrames)
 	if err != nil {
@@ -244,10 +260,18 @@ func New(dev *noftl.Device, opts Options) (*DB, error) {
 	}
 	db.pool = pool
 	if opts.BackgroundMaintenance {
-		db.maintWG.Add(1)
-		go db.maintenanceLoop()
+		db.startMaintenance()
 	}
 	return db, nil
+}
+
+// startMaintenance launches the maintenance goroutine. Called from New
+// and from SimulateCrash when it reopens a closed instance.
+func (db *DB) startMaintenance() {
+	stop := make(chan struct{})
+	db.maintStop = stop
+	db.maintWG.Add(1)
+	go db.maintenanceLoop(stop)
 }
 
 // pokeMaintenance wakes the maintenance goroutine without blocking.
@@ -263,11 +287,11 @@ func (db *DB) pokeMaintenance() {
 
 // maintenanceLoop services pokes from the buffer pool (dirty threshold
 // crossed) and from committers (log past the reclaim threshold).
-func (db *DB) maintenanceLoop() {
+func (db *DB) maintenanceLoop(stop chan struct{}) {
 	defer db.maintWG.Done()
 	for {
 		select {
-		case <-db.maintStop:
+		case <-stop:
 			return
 		case <-db.maintCh:
 		}
@@ -309,21 +333,34 @@ func (db *DB) maintenancePass() error {
 	return db.checkpointLocked(w)
 }
 
-// Close stops the background maintenance goroutine (no-op without
-// Options.BackgroundMaintenance) and returns the first error it hit.
-// The instance stays usable afterwards — pending maintenance simply
-// falls back to the eviction and flush paths — so Close is a shutdown
-// courtesy, not a lifecycle requirement. Idempotent.
+// Close shuts the instance down: the closed flag is raised under the
+// exclusive state latch (so every Begin/Checkpoint/Stats that starts
+// after Close returns deterministically fails with ErrClosed), then the
+// background maintenance goroutine is drained (no-op without
+// Options.BackgroundMaintenance). Repeated calls are idempotent: they
+// return the first call's error without draining twice. SimulateCrash
+// reopens a closed instance — it models the process restarting.
 func (db *DB) Close() error {
-	db.closeOnce.Do(func() {
-		if db.maintStop != nil {
-			close(db.maintStop)
-			db.maintWG.Wait()
-		}
-	})
+	db.closeMu.Lock()
+	defer db.closeMu.Unlock()
+	if db.closed.Load() {
+		return db.closeErr
+	}
+	// Raise the flag with the state latch held exclusively: in-flight
+	// operations (holding it shared) finish first, and any operation
+	// starting afterwards observes the flag before touching the pool.
+	db.stateMu.Lock()
+	db.closed.Store(true)
+	db.stateMu.Unlock()
+	if db.maintStop != nil {
+		close(db.maintStop)
+		db.maintWG.Wait()
+		db.maintStop = nil
+	}
 	db.maintErrMu.Lock()
-	defer db.maintErrMu.Unlock()
-	return db.maintErr
+	db.closeErr = db.maintErr
+	db.maintErrMu.Unlock()
+	return db.closeErr
 }
 
 // Log exposes the write-ahead log.
@@ -451,10 +488,14 @@ func (db *DB) reclaimBatch() int {
 	return db.pool.Size()/4 + 1
 }
 
-// Checkpoint takes a fuzzy checkpoint and truncates the log.
+// Checkpoint takes a fuzzy checkpoint and truncates the log. After
+// Close it returns ErrClosed.
 func (db *DB) Checkpoint(w *sim.Worker) error {
 	db.stateMu.RLock()
 	defer db.stateMu.RUnlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
 	return db.checkpointLocked(w)
@@ -528,7 +569,17 @@ func (db *DB) ResizePool(w *sim.Worker, frames int) error {
 // catalog (assumed on stable metadata storage, as NoFTL does). Restart
 // must call Recover before new work. Stop-the-world: blocks until all
 // in-flight operations drain.
+//
+// A crash models the process dying and restarting, so a previously
+// Closed instance comes back open: the closed flag is cleared and the
+// maintenance goroutine restarted. This is what lets the server
+// integration tests shut down gracefully, then "reopen the device" and
+// verify WAL recovery on the same instance.
 func (db *DB) SimulateCrash() error {
+	// closeMu before stateMu — the same order Close takes them — so a
+	// concurrent Close cannot interleave with the reopen.
+	db.closeMu.Lock()
+	defer db.closeMu.Unlock()
 	db.stateMu.Lock()
 	defer db.stateMu.Unlock()
 	pool, err := db.newPool(db.opts.BufferFrames)
@@ -540,5 +591,12 @@ func (db *DB) SimulateCrash() error {
 	db.active = make(map[uint64]*Tx)
 	db.txMu.Unlock()
 	db.locks.clear()
+	if db.closed.Load() {
+		db.closed.Store(false)
+		db.closeErr = nil
+		if db.opts.BackgroundMaintenance {
+			db.startMaintenance()
+		}
+	}
 	return nil
 }

@@ -60,14 +60,14 @@ func TestDDLFigure3(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The table is usable: insert + small update lands as an append.
-	tx := db.Begin(nil)
+	tx := mustBegin(db, nil)
 	rid, err := tbl.Insert(tx, make([]byte, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
 	tx.Commit()
 	db.FlushAll(nil)
-	tx2 := db.Begin(nil)
+	tx2 := mustBegin(db, nil)
 	if err := tbl.UpdateField(tx2, rid, 0, []byte{7}); err != nil {
 		t.Fatal(err)
 	}

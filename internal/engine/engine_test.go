@@ -49,7 +49,7 @@ func TestInsertReadUpdateDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	rid, err := tbl.Insert(tx, []byte("hello world tuple"))
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +61,7 @@ func TestInsertReadUpdateDelete(t *testing.T) {
 	if err != nil || string(got) != "hello world tuple" {
 		t.Fatalf("Read = %q, %v", got, err)
 	}
-	tx2 := r.db.Begin(nil)
+	tx2 := mustBegin(r.db, nil)
 	if err := tbl.Update(tx2, rid, []byte("HELLO world tuple")); err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestSmallUpdateBecomesDeltaWrite(t *testing.T) {
 	tbl, _ := r.db.CreateTable("t", "main")
 	sch, _ := NewSchema(8, 8, 8)
 
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	tup := sch.New()
 	sch.SetUint(tup, 0, 1)
 	sch.SetUint(tup, 1, 100)
@@ -105,7 +105,7 @@ func TestSmallUpdateBecomesDeltaWrite(t *testing.T) {
 	}
 
 	// Small numeric update: balance += 5 changes 1 body byte.
-	tx2 := r.db.Begin(nil)
+	tx2 := mustBegin(r.db, nil)
 	cur, _ := tbl.Read(nil, rid)
 	sch.AddUint(cur, 1, 5)
 	if err := tbl.Update(tx2, rid, cur); err != nil {
@@ -142,7 +142,7 @@ func TestDeltaBudgetExhaustionFallsBackOOP(t *testing.T) {
 	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
 	tbl, _ := r.db.CreateTable("t", "main")
 	sch, _ := NewSchema(8, 8)
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	rid, _ := tbl.Insert(tx, sch.New())
 	tx.Commit()
 	r.db.FlushAll(nil)
@@ -150,7 +150,7 @@ func TestDeltaBudgetExhaustionFallsBackOOP(t *testing.T) {
 
 	// N=2 appends fit; the third small update flush must go out-of-place.
 	for i := 1; i <= 3; i++ {
-		tx := r.db.Begin(nil)
+		tx := mustBegin(r.db, nil)
 		cur, _ := tbl.Read(nil, rid)
 		sch.AddUint(cur, 1, 1)
 		if err := tbl.Update(tx, rid, cur); err != nil {
@@ -170,7 +170,7 @@ func TestDeltaBudgetExhaustionFallsBackOOP(t *testing.T) {
 	}
 	// After the out-of-place write the budget is reset: next small update
 	// is a delta again.
-	tx2 := r.db.Begin(nil)
+	tx2 := mustBegin(r.db, nil)
 	cur, _ := tbl.Read(nil, rid)
 	sch.AddUint(cur, 1, 1)
 	tbl.Update(tx2, rid, cur)
@@ -184,12 +184,12 @@ func TestDeltaBudgetExhaustionFallsBackOOP(t *testing.T) {
 func TestLargeUpdateGoesOutOfPlace(t *testing.T) {
 	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
 	tbl, _ := r.db.CreateTable("t", "main")
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	rid, _ := tbl.Insert(tx, bytes.Repeat([]byte{1}, 64))
 	tx.Commit()
 	r.db.FlushAll(nil)
 
-	tx2 := r.db.Begin(nil)
+	tx2 := mustBegin(r.db, nil)
 	if err := tbl.Update(tx2, rid, bytes.Repeat([]byte{2}, 64)); err != nil {
 		t.Fatal(err)
 	}
@@ -212,12 +212,12 @@ func TestDisabledIPAAlwaysOOP(t *testing.T) {
 	r := newRig(t, noftl.ModeNone, core.Scheme{}, 16, false)
 	tbl, _ := r.db.CreateTable("t", "main")
 	sch, _ := NewSchema(8)
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	rid, _ := tbl.Insert(tx, sch.New())
 	tx.Commit()
 	r.db.FlushAll(nil)
 	for i := 0; i < 3; i++ {
-		tx := r.db.Begin(nil)
+		tx := mustBegin(r.db, nil)
 		cur, _ := tbl.Read(nil, rid)
 		sch.AddUint(cur, 0, 1)
 		tbl.Update(tx, rid, cur)
@@ -237,13 +237,13 @@ func TestAbortRollsBack(t *testing.T) {
 	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
 	tbl, _ := r.db.CreateTable("t", "main")
 	sch, _ := NewSchema(8)
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	tup := sch.New()
 	sch.SetUint(tup, 0, 42)
 	rid, _ := tbl.Insert(tx, tup)
 	tx.Commit()
 
-	tx2 := r.db.Begin(nil)
+	tx2 := mustBegin(r.db, nil)
 	cur, _ := tbl.Read(nil, rid)
 	sch.SetUint(cur, 0, 99)
 	tbl.Update(tx2, rid, cur)
@@ -270,14 +270,14 @@ func TestRollbackAcrossEvictionWithDeltas(t *testing.T) {
 	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
 	tbl, _ := r.db.CreateTable("t", "main")
 	sch, _ := NewSchema(8)
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	tup := sch.New()
 	sch.SetUint(tup, 0, 42)
 	rid, _ := tbl.Insert(tx, tup)
 	tx.Commit()
 	r.db.FlushAll(nil)
 
-	tx2 := r.db.Begin(nil)
+	tx2 := mustBegin(r.db, nil)
 	cur, _ := tbl.Read(nil, rid)
 	sch.SetUint(cur, 0, 43) // 1-byte change
 	tbl.Update(tx2, rid, cur)
@@ -300,12 +300,12 @@ func TestUpdateFieldSmallDiff(t *testing.T) {
 	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
 	tbl, _ := r.db.CreateTable("t", "main")
 	sch, _ := NewSchema(4, 4, 20)
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	rid, _ := tbl.Insert(tx, sch.New())
 	tx.Commit()
 	r.db.FlushAll(nil)
 
-	tx2 := r.db.Begin(nil)
+	tx2 := mustBegin(r.db, nil)
 	if err := tbl.UpdateField(tx2, rid, sch.Offset(1), []byte{7}); err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,7 @@ func TestUpdateFieldSmallDiff(t *testing.T) {
 		t.Errorf("FlushesDelta = %d", st.Stats().FlushesDelta)
 	}
 	// Out-of-range field update is rejected.
-	tx3 := r.db.Begin(nil)
+	tx3 := mustBegin(r.db, nil)
 	if err := tbl.UpdateField(tx3, rid, 100, []byte{1}); err == nil {
 		t.Error("out-of-range field accepted")
 	}
@@ -334,7 +334,7 @@ func TestEvictionsUnderSmallPool(t *testing.T) {
 	var rids []core.RID
 	// More pages than frames.
 	for i := 0; i < 40; i++ {
-		tx := r.db.Begin(nil)
+		tx := mustBegin(r.db, nil)
 		tup := sch.New()
 		sch.SetUint(tup, 0, uint64(i))
 		rid, err := tbl.Insert(tx, bytes.Repeat(tup, 10)) // 160B tuples, ~2/page
@@ -346,7 +346,7 @@ func TestEvictionsUnderSmallPool(t *testing.T) {
 	}
 	// Update all, read all back.
 	for i, rid := range rids {
-		tx := r.db.Begin(nil)
+		tx := mustBegin(r.db, nil)
 		cur, err := tbl.Read(nil, rid)
 		if err != nil {
 			t.Fatalf("read %d: %v", i, err)
@@ -399,7 +399,7 @@ func TestECCEndToEnd(t *testing.T) {
 	sch, _ := NewSchema(8)
 	var rids []core.RID
 	for i := 0; i < 10; i++ {
-		tx := db.Begin(nil)
+		tx := mustBegin(db, nil)
 		tup := sch.New()
 		sch.SetUint(tup, 0, uint64(i+1000))
 		rid, err := tbl.Insert(tx, tup)
@@ -412,7 +412,7 @@ func TestECCEndToEnd(t *testing.T) {
 	db.FlushAll(nil)
 	// Small updates to create delta-records under bit errors.
 	for _, rid := range rids {
-		tx := db.Begin(nil)
+		tx := mustBegin(db, nil)
 		cur, err := tbl.Read(nil, rid)
 		if err != nil {
 			t.Fatal(err)
@@ -492,7 +492,7 @@ func TestScan(t *testing.T) {
 	tbl, _ := r.db.CreateTable("t", "main")
 	want := map[string]bool{}
 	for i := 0; i < 30; i++ {
-		tx := r.db.Begin(nil)
+		tx := mustBegin(r.db, nil)
 		tup := bytes.Repeat([]byte{byte(i + 1)}, 50)
 		if _, err := tbl.Insert(tx, tup); err != nil {
 			t.Fatal(err)

@@ -27,7 +27,7 @@ func TestAccessors(t *testing.T) {
 	if _, err := r.db.AttachRegion("missing"); err == nil {
 		t.Error("AttachRegion missing region accepted")
 	}
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	if tx.ID() == 0 {
 		t.Error("tx id zero")
 	}
@@ -57,7 +57,7 @@ func TestResizePoolPreservesData(t *testing.T) {
 	sch, _ := NewSchema(8)
 	var rids []core.RID
 	for i := 0; i < 20; i++ {
-		tx := r.db.Begin(nil)
+		tx := mustBegin(r.db, nil)
 		tup := sch.New()
 		sch.SetUint(tup, 0, uint64(i))
 		rid, err := tbl.Insert(tx, tup)
@@ -88,12 +88,12 @@ func TestLockConflictAndRelease(t *testing.T) {
 	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
 	tbl, _ := r.db.CreateTable("t", "main")
 	sch, _ := NewSchema(8)
-	setup := r.db.Begin(nil)
+	setup := mustBegin(r.db, nil)
 	rid, _ := tbl.Insert(setup, sch.New())
 	setup.Commit()
 
-	tx1 := r.db.Begin(nil)
-	tx2 := r.db.Begin(nil)
+	tx1 := mustBegin(r.db, nil)
+	tx2 := mustBegin(r.db, nil)
 	if err := tbl.UpdateField(tx1, rid, 0, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestLockConflictAndRelease(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Abort also releases.
-	tx3 := r.db.Begin(nil)
+	tx3 := mustBegin(r.db, nil)
 	if err := tbl.UpdateField(tx3, rid, 0, []byte{5}); err != nil {
 		t.Fatalf("update after abort release: %v", err)
 	}
@@ -138,7 +138,7 @@ func TestConcurrentGoroutines(t *testing.T) {
 	sch, _ := NewSchema(8, 8)
 	const rows = 64
 	var rids [rows]core.RID
-	setup := r.db.Begin(nil)
+	setup := mustBegin(r.db, nil)
 	for i := 0; i < rows; i++ {
 		tup := sch.New()
 		sch.SetUint(tup, 0, uint64(i))
@@ -160,7 +160,7 @@ func TestConcurrentGoroutines(t *testing.T) {
 			for i := 0; i < 100; i++ {
 				// Partitioned rows: no lock conflicts by construction.
 				rid := rids[(g*8+i%8)%rows]
-				tx := r.db.Begin(nil)
+				tx := mustBegin(r.db, nil)
 				cur, err := tbl.Read(nil, rid)
 				if err != nil {
 					errCh <- err

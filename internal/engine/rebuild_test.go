@@ -21,7 +21,7 @@ func TestRecoverMappingAfterPowerLoss(t *testing.T) {
 	// Rows with several overwrite generations so flash holds stale copies.
 	var rids []core.RID
 	for i := 0; i < 12; i++ {
-		tx := r.db.Begin(nil)
+		tx := mustBegin(r.db, nil)
 		tup := sch.New()
 		sch.SetUint(tup, 0, uint64(i))
 		rid, err := tbl.Insert(tx, tup)
@@ -34,7 +34,7 @@ func TestRecoverMappingAfterPowerLoss(t *testing.T) {
 	r.db.FlushAll(nil)
 	for gen := 1; gen <= 3; gen++ {
 		for i, rid := range rids {
-			tx := r.db.Begin(nil)
+			tx := mustBegin(r.db, nil)
 			cur, _ := tbl.Read(nil, rid)
 			sch.SetUint(cur, 1, uint64(gen*100+i))
 			if err := tbl.Update(tx, rid, cur); err != nil {
@@ -99,7 +99,7 @@ func TestRecoverMappingAfterPowerLoss(t *testing.T) {
 	// The region keeps working after adoption: more writes and GC churn.
 	for round := 0; round < 3; round++ {
 		for i, rid := range rids {
-			tx := r.db.Begin(nil)
+			tx := mustBegin(r.db, nil)
 			cur, _ := tbl.Read(nil, rid)
 			sch.SetUint(cur, 1, uint64(1000+round*100+i))
 			if err := tbl.Update(tx, rid, cur); err != nil {

@@ -13,7 +13,7 @@ func TestRecoveryRedoesCommittedWork(t *testing.T) {
 	tbl, _ := r.db.CreateTable("t", "main")
 	sch, _ := NewSchema(8)
 
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	tup := sch.New()
 	sch.SetUint(tup, 0, 7)
 	rid, _ := tbl.Insert(tx, tup)
@@ -44,7 +44,7 @@ func TestRecoveryUndoesLosers(t *testing.T) {
 	tbl, _ := r.db.CreateTable("t", "main")
 	sch, _ := NewSchema(8)
 
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	tup := sch.New()
 	sch.SetUint(tup, 0, 42)
 	rid, _ := tbl.Insert(tx, tup)
@@ -53,7 +53,7 @@ func TestRecoveryUndoesLosers(t *testing.T) {
 
 	// Loser transaction: small update flushed to flash (as a
 	// delta-record) but never committed.
-	loser := r.db.Begin(nil)
+	loser := mustBegin(r.db, nil)
 	cur, _ := tbl.Read(nil, rid)
 	sch.SetUint(cur, 0, 43)
 	tbl.Update(loser, rid, cur)
@@ -82,7 +82,7 @@ func TestRecoveryIdempotent(t *testing.T) {
 	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
 	tbl, _ := r.db.CreateTable("t", "main")
 	sch, _ := NewSchema(8)
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	tup := sch.New()
 	sch.SetUint(tup, 0, 5)
 	rid, _ := tbl.Insert(tx, tup)
@@ -113,7 +113,7 @@ func TestRecoveryMixedWorkload(t *testing.T) {
 	// 20 committed rows.
 	var rids []core.RID
 	for i := 0; i < 20; i++ {
-		tx := r.db.Begin(nil)
+		tx := mustBegin(r.db, nil)
 		tup := sch.New()
 		sch.SetUint(tup, 0, uint64(i))
 		sch.SetUint(tup, 1, 100)
@@ -127,14 +127,14 @@ func TestRecoveryMixedWorkload(t *testing.T) {
 	r.db.FlushAll(nil)
 	// Committed updates on half of them (not flushed).
 	for i := 0; i < 10; i++ {
-		tx := r.db.Begin(nil)
+		tx := mustBegin(r.db, nil)
 		cur, _ := tbl.Read(nil, rids[i])
 		sch.AddUint(cur, 1, 1)
 		tbl.Update(tx, rids[i], cur)
 		tx.Commit()
 	}
 	// A loser touching two rows.
-	loser := r.db.Begin(nil)
+	loser := mustBegin(r.db, nil)
 	for _, i := range []int{0, 15} {
 		cur, _ := tbl.Read(nil, rids[i])
 		sch.SetUint(cur, 1, 999)
@@ -168,7 +168,7 @@ func TestCheckpointTruncatesLog(t *testing.T) {
 	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
 	tbl, _ := r.db.CreateTable("t", "main")
 	for i := 0; i < 10; i++ {
-		tx := r.db.Begin(nil)
+		tx := mustBegin(r.db, nil)
 		tbl.Insert(tx, make([]byte, 16))
 		tx.Commit()
 	}
@@ -197,11 +197,11 @@ func TestLogSpaceReclamationForcesFlushes(t *testing.T) {
 	r := newRigWithLog(t, 8*1024)
 	tbl, _ := r.db.CreateTable("t", "main")
 	sch, _ := NewSchema(8)
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	rid, _ := tbl.Insert(tx, sch.New())
 	tx.Commit()
 	for i := 0; i < 200; i++ {
-		tx := r.db.Begin(nil)
+		tx := mustBegin(r.db, nil)
 		cur, _ := tbl.Read(nil, rid)
 		sch.AddUint(cur, 0, 1)
 		if err := tbl.Update(tx, rid, cur); err != nil {
@@ -252,7 +252,7 @@ func TestRecoverEmptyLog(t *testing.T) {
 
 func TestTxDoubleFinish(t *testing.T) {
 	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 8, false)
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}

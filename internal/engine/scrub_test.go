@@ -34,7 +34,7 @@ func TestScrubRepairsRetentionErrors(t *testing.T) {
 	}
 	tbl, _ := db.CreateTable("t", "main")
 	sch, _ := NewSchema(8, 8)
-	tx := db.Begin(nil)
+	tx := mustBegin(db, nil)
 	tup := sch.New()
 	sch.SetUint(tup, 0, 0xAABBCCDD)
 	rid, err := tbl.Insert(tx, tup)
@@ -95,7 +95,7 @@ func TestScrubRepairsRetentionErrors(t *testing.T) {
 func TestScrubRequiresECC(t *testing.T) {
 	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 8, false)
 	tbl, _ := r.db.CreateTable("t", "main")
-	tx := r.db.Begin(nil)
+	tx := mustBegin(r.db, nil)
 	rid, _ := tbl.Insert(tx, make([]byte, 16))
 	tx.Commit()
 	r.db.FlushAll(nil)

@@ -52,7 +52,7 @@ func TestSelectiveIPAAcrossRegions(t *testing.T) {
 		tbl *Table
 		rid *core.RID
 	}{{hot, &hotR}, {warm, &warmR}, {cold, &coldR}} {
-		tx := db.Begin(nil)
+		tx := mustBegin(db, nil)
 		tup := sch.New()
 		sch.SetUint(tup, 0, 7)
 		rid, err := tc.tbl.Insert(tx, tup)
@@ -67,7 +67,7 @@ func TestSelectiveIPAAcrossRegions(t *testing.T) {
 	// Small updates everywhere.
 	update := func(tbl *Table, rid core.RID) {
 		t.Helper()
-		tx := db.Begin(nil)
+		tx := mustBegin(db, nil)
 		cur, err := tbl.Read(nil, rid)
 		if err != nil {
 			t.Fatal(err)

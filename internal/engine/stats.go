@@ -39,9 +39,14 @@ type Stats struct {
 	Stores  map[string]StoreStats
 }
 
-// Stats assembles a snapshot across all engine layers.
-func (db *DB) Stats() Stats {
+// Stats assembles a snapshot across all engine layers. After Close it
+// returns ErrClosed.
+func (db *DB) Stats() (Stats, error) {
 	db.stateMu.RLock()
+	if db.closed.Load() {
+		db.stateMu.RUnlock()
+		return Stats{}, ErrClosed
+	}
 	pool := db.pool
 	db.stateMu.RUnlock()
 
@@ -67,5 +72,5 @@ func (db *DB) Stats() Stats {
 		s.Regions[name] = st.Region().Stats()
 		s.Stores[name] = st.Stats()
 	}
-	return s
+	return s, nil
 }

@@ -58,15 +58,22 @@ type Tx struct {
 }
 
 // Begin starts a transaction bound to the worker (nil is fine for
-// untimed use).
-func (db *DB) Begin(w *sim.Worker) *Tx {
+// untimed use). After Close it returns ErrClosed — deterministically,
+// because the closed flag is raised under the state latch Begin holds
+// shared.
+func (db *DB) Begin(w *sim.Worker) (*Tx, error) {
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
 	tx := &Tx{id: db.nextTx.Add(1), db: db, w: w}
 	tx.firstLSN = db.log.Append(wal.Record{Type: wal.RecBegin, TxID: tx.id})
 	tx.lastLSN.store(tx.firstLSN)
 	db.txMu.Lock()
 	db.active[tx.id] = tx
 	db.txMu.Unlock()
-	return tx
+	return tx, nil
 }
 
 // ID returns the transaction id.

@@ -265,7 +265,10 @@ func Execute(s Spec) (*Out, error) {
 	}
 	st.SetTraceSink(nil)
 
-	stats := db.Stats()
+	stats, err := db.Stats()
+	if err != nil {
+		return nil, err
+	}
 	return &Out{
 		Spec:    s,
 		Results: res,

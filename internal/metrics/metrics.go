@@ -217,6 +217,65 @@ func (l *Latency) Quantile(q float64) time.Duration {
 	return l.max
 }
 
+// LatencySnapshot is an exported, JSON-marshalable view of a Latency
+// recorder — what the network service's admin endpoint serves per
+// protocol op. Quantiles are bucket upper bounds, like Quantile.
+type LatencySnapshot struct {
+	Count   uint64   `json:"count"`
+	MeanNs  int64    `json:"mean_ns"`
+	MinNs   int64    `json:"min_ns"`
+	MaxNs   int64    `json:"max_ns"`
+	P50Ns   int64    `json:"p50_ns"`
+	P95Ns   int64    `json:"p95_ns"`
+	P99Ns   int64    `json:"p99_ns"`
+	Buckets []uint64 `json:"buckets"` // power-of-two histogram, trimmed of trailing zeros
+}
+
+// Snapshot captures the recorder's current state in one lock
+// acquisition.
+func (l *Latency) Snapshot() LatencySnapshot {
+	l.mu.Lock()
+	s := LatencySnapshot{
+		Count: l.count,
+		MinNs: int64(l.min),
+		MaxNs: int64(l.max),
+	}
+	if l.count > 0 {
+		s.MeanNs = int64(l.sum) / int64(l.count)
+	}
+	s.P50Ns = int64(l.quantileLocked(0.50))
+	s.P95Ns = int64(l.quantileLocked(0.95))
+	s.P99Ns = int64(l.quantileLocked(0.99))
+	last := -1
+	for i, n := range l.buckets {
+		if n != 0 {
+			last = i
+		}
+	}
+	s.Buckets = append([]uint64(nil), l.buckets[:last+1]...)
+	l.mu.Unlock()
+	return s
+}
+
+// quantileLocked is Quantile with l.mu already held.
+func (l *Latency) quantileLocked(q float64) time.Duration {
+	if l.count == 0 {
+		return 0
+	}
+	need := uint64(math.Ceil(q * float64(l.count)))
+	if need == 0 {
+		need = 1
+	}
+	var c uint64
+	for i, n := range l.buckets {
+		c += n
+		if c >= need {
+			return time.Duration(int64(1) << uint(i+1))
+		}
+	}
+	return l.max
+}
+
 // Merge folds another recorder's observations into l. Benchmarks give
 // each worker its own recorder (no shared lock on the timed path) and
 // merge afterwards.

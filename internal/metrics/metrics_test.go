@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math/rand"
 	"sort"
 	"strings"
@@ -180,5 +181,54 @@ func TestPropertyFractionMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestLatencySnapshot(t *testing.T) {
+	var l Latency
+	if s := l.Snapshot(); s.Count != 0 || len(s.Buckets) != 0 || s.P99Ns != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	for _, d := range []time.Duration{100, 200, 400, 800, 100_000} {
+		l.Add(d)
+	}
+	s := l.Snapshot()
+	if s.Count != 5 || s.MinNs != 100 || s.MaxNs != 100_000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.MeanNs != int64(l.Mean()) {
+		t.Fatalf("mean %d != %v", s.MeanNs, l.Mean())
+	}
+	// Quantiles must agree with the recorder's own bucket upper bounds.
+	if s.P50Ns != int64(l.Quantile(0.50)) || s.P99Ns != int64(l.Quantile(0.99)) {
+		t.Fatalf("quantiles diverge: %+v vs %v/%v", s, l.Quantile(0.50), l.Quantile(0.99))
+	}
+	if len(s.Buckets) == 0 {
+		t.Fatal("histogram empty after observations")
+	}
+	var total uint64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != 5 {
+		t.Fatalf("bucket mass %d != count 5", total)
+	}
+	// The snapshot is a copy: mutating the recorder afterwards must not
+	// change it.
+	l.Add(1 << 30)
+	if s.Count != 5 {
+		t.Fatal("snapshot aliases the recorder")
+	}
+	// And it must round-trip through JSON (the admin endpoint contract).
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LatencySnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != s.Count || back.P99Ns != s.P99Ns || len(back.Buckets) != len(s.Buckets) {
+		t.Fatalf("JSON round trip lost data: %+v vs %+v", back, s)
 	}
 }

@@ -1,0 +1,297 @@
+// Package server exposes an engine.DB over TCP using the wire protocol.
+//
+// Each accepted connection becomes a session that owns one sim.Worker
+// and executes its requests serially, in arrival order, so a client can
+// pipeline an entire transaction (BEGIN, a batch of updates, COMMIT) in
+// one write and rely on the ops landing in sequence. Responses carry
+// the request id of the frame they answer, so the client correlates
+// them without waiting between requests.
+//
+// Backpressure is a global in-flight semaphore: a request that cannot
+// get a slot within the admission timeout is answered StatusBusy (the
+// only transient, client-retryable status). Graceful shutdown stops
+// accepting, lets every session finish the requests it has already read
+// off the wire, aborts transactions left open by disconnected or
+// drained clients, and then closes the database so the WAL ends with a
+// clean checkpoint.
+package server
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipa/internal/engine"
+	"ipa/internal/metrics"
+	"ipa/internal/sim"
+	"ipa/internal/wire"
+)
+
+// Config parameterises a Server. Zero values select the defaults noted
+// on each field.
+type Config struct {
+	DB       *engine.DB    // required
+	Timeline *sim.Timeline // optional; sessions run with nil workers without it
+
+	MaxInflight    int           // global in-flight request cap (default 256)
+	AcquireTimeout time.Duration // admission wait before StatusBusy (default 2s)
+	ReadTimeout    time.Duration // per-frame read deadline / idle limit (default 2m)
+	WriteTimeout   time.Duration // deadline per response flush (default 30s)
+	MaxFrame       int           // frame size limit (default wire.MaxFrame)
+	PipelineDepth  int           // per-session queued-request bound (default 64)
+
+	Logf func(format string, args ...any) // optional diagnostics sink
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.AcquireTimeout <= 0 {
+		c.AcquireTimeout = 2 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.MaxFrame
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 64
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Counters is the server-side half of the stats document.
+type Counters struct {
+	ConnsAccepted  uint64 `json:"conns_accepted"`
+	ConnsActive    int64  `json:"conns_active"`
+	Requests       uint64 `json:"requests"`
+	BusyRejected   uint64 `json:"busy_rejected"`
+	OrphansAborted uint64 `json:"orphans_aborted"`
+	Draining       bool   `json:"draining"`
+}
+
+// StatsDocument is what the admin endpoint and the STATS op serve:
+// engine counters plus per-op wall-clock latency histograms.
+type StatsDocument struct {
+	Engine engine.Stats                       `json:"engine"`
+	Ops    map[string]metrics.LatencySnapshot `json:"ops"`
+	Server Counters                           `json:"server"`
+}
+
+// Server accepts wire-protocol connections and maps them onto a DB.
+type Server struct {
+	cfg      Config
+	db       *engine.DB
+	inflight chan struct{}
+	draining atomic.Bool
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	sessWG   sync.WaitGroup
+
+	latMu sync.Mutex
+	opLat map[string]*metrics.Latency
+
+	adminMu  sync.Mutex
+	adminSrv *http.Server
+
+	connsAccepted  atomic.Uint64
+	connsActive    atomic.Int64
+	requests       atomic.Uint64
+	busyRejected   atomic.Uint64
+	orphansAborted atomic.Uint64
+}
+
+// New builds a server around an open database.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		db:       cfg.DB,
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		sessions: make(map[*session]struct{}),
+		opLat:    make(map[string]*metrics.Latency),
+	}, nil
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns
+// nil when the listener closes because of a shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if s.draining.Load() {
+			conn.Close()
+			continue
+		}
+		s.connsAccepted.Add(1)
+		s.startSession(conn)
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the serving listener's address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) startSession(conn net.Conn) {
+	sess := newSession(s, conn)
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.sessions[sess] = struct{}{}
+	s.sessWG.Add(1)
+	s.mu.Unlock()
+	s.connsActive.Add(1)
+	go sess.run()
+}
+
+func (s *Server) removeSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+	s.connsActive.Add(-1)
+	s.sessWG.Done()
+}
+
+// Shutdown drains the server: it stops accepting, lets every session
+// finish the requests it has already read (forcing connections closed
+// if they exceed timeout), aborts orphaned transactions, stops the
+// admin listener, and finally closes the database. Safe to call more
+// than once; later calls just close the database again (idempotent).
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.draining.Store(true)
+
+	s.mu.Lock()
+	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.startDrain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.sessWG.Wait()
+		close(done)
+	}()
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		select {
+		case <-done:
+			timer.Stop()
+		case <-timer.C:
+			s.cfg.Logf("server: drain timed out after %v, forcing connections closed", timeout)
+			s.mu.Lock()
+			for sess := range s.sessions {
+				sess.conn.Close()
+			}
+			s.mu.Unlock()
+			<-done
+		}
+	} else {
+		<-done
+	}
+
+	s.closeAdmin()
+	return s.db.Close()
+}
+
+// observe records one request's wall-clock service time under its op
+// name.
+func (s *Server) observe(op byte, d time.Duration) {
+	name := wire.OpName(op)
+	s.latMu.Lock()
+	l, ok := s.opLat[name]
+	if !ok {
+		l = &metrics.Latency{}
+		s.opLat[name] = l
+	}
+	s.latMu.Unlock()
+	l.Add(d)
+}
+
+// StatsDocument snapshots engine stats, per-op latency histograms and
+// server counters. It fails with engine.ErrClosed once the database is
+// closed.
+func (s *Server) StatsDocument() (StatsDocument, error) {
+	es, err := s.db.Stats()
+	if err != nil {
+		return StatsDocument{}, err
+	}
+	ops := make(map[string]metrics.LatencySnapshot)
+	s.latMu.Lock()
+	lats := make(map[string]*metrics.Latency, len(s.opLat))
+	for name, l := range s.opLat {
+		lats[name] = l
+	}
+	s.latMu.Unlock()
+	for name, l := range lats {
+		ops[name] = l.Snapshot()
+	}
+	return StatsDocument{
+		Engine: es,
+		Ops:    ops,
+		Server: Counters{
+			ConnsAccepted:  s.connsAccepted.Load(),
+			ConnsActive:    s.connsActive.Load(),
+			Requests:       s.requests.Load(),
+			BusyRejected:   s.busyRejected.Load(),
+			OrphansAborted: s.orphansAborted.Load(),
+			Draining:       s.draining.Load(),
+		},
+	}, nil
+}

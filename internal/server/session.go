@@ -1,0 +1,402 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ipa/internal/core"
+	"ipa/internal/engine"
+	"ipa/internal/sim"
+	"ipa/internal/wire"
+)
+
+// session serves one connection. A reader goroutine decodes frames into
+// a bounded queue; the session goroutine executes them serially in
+// arrival order and writes responses through a buffered writer that is
+// flushed whenever the queue runs empty. Serial execution is what makes
+// pipelined transactions sound: the ops of a BEGIN..COMMIT batch land
+// in exactly the order the client wrote them.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	w    *sim.Worker
+
+	queue chan wire.Frame
+
+	drainOnce sync.Once
+
+	txs    map[uint64]*engine.Tx
+	poison map[uint64]string // txid → first failed op, set until COMMIT/ABORT
+	tables map[string]*engine.Table
+}
+
+func newSession(s *Server, conn net.Conn) *session {
+	var w *sim.Worker
+	if s.cfg.Timeline != nil {
+		w = s.cfg.Timeline.NewWorker()
+	}
+	return &session{
+		srv:    s,
+		conn:   conn,
+		br:     bufio.NewReaderSize(conn, 32<<10),
+		bw:     bufio.NewWriterSize(conn, 32<<10),
+		w:      w,
+		queue:  make(chan wire.Frame, s.cfg.PipelineDepth),
+		txs:    make(map[uint64]*engine.Tx),
+		poison: make(map[uint64]string),
+		tables: make(map[string]*engine.Table),
+	}
+}
+
+// startDrain unblocks the reader so the session stops accepting new
+// frames; requests already queued still execute.
+func (s *session) startDrain() {
+	s.drainOnce.Do(func() {
+		s.conn.SetReadDeadline(time.Now())
+	})
+}
+
+func (s *session) run() {
+	go s.readLoop()
+	s.execLoop()
+}
+
+func (s *session) readLoop() {
+	defer close(s.queue)
+	for {
+		if s.srv.draining.Load() {
+			return
+		}
+		s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.ReadTimeout))
+		f, err := wire.ReadFrame(s.br, s.srv.cfg.MaxFrame)
+		if err != nil {
+			if err != io.EOF && !s.srv.draining.Load() {
+				s.srv.cfg.Logf("server: read %v: %v", s.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		s.queue <- f
+	}
+}
+
+func (s *session) execLoop() {
+	defer s.finish()
+	for {
+		// Flush buffered responses before blocking on an empty queue, so
+		// the tail of a pipelined batch reaches the client promptly.
+		select {
+		case f, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.handle(f)
+		default:
+			s.flush()
+			f, ok := <-s.queue
+			if !ok {
+				return
+			}
+			s.handle(f)
+		}
+	}
+}
+
+// finish aborts transactions the client left open (disconnect or
+// drain), flushes and closes the connection, and unregisters.
+func (s *session) finish() {
+	for id, tx := range s.txs {
+		delete(s.txs, id)
+		if err := tx.Abort(); err == nil {
+			s.srv.orphansAborted.Add(1)
+		}
+	}
+	s.flush()
+	s.conn.Close()
+	s.srv.removeSession(s)
+}
+
+func (s *session) flush() {
+	s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteTimeout))
+	if err := s.bw.Flush(); err != nil && !s.srv.draining.Load() {
+		s.srv.cfg.Logf("server: write %v: %v", s.conn.RemoteAddr(), err)
+	}
+}
+
+func (s *session) reply(id uint64, status byte, payload []byte) {
+	s.conn.SetWriteDeadline(time.Now().Add(s.srv.cfg.WriteTimeout))
+	// Errors surface at the next flush; execution continues so queued
+	// transactions still resolve (commit or abort) server-side.
+	_ = wire.WriteFrame(s.bw, id, status, payload)
+}
+
+// handle admits one request through the global in-flight semaphore,
+// executes it, responds, and records its service time.
+func (s *session) handle(f wire.Frame) {
+	start := time.Now()
+	timer := time.NewTimer(s.srv.cfg.AcquireTimeout)
+	select {
+	case s.srv.inflight <- struct{}{}:
+		timer.Stop()
+	case <-timer.C:
+		s.srv.busyRejected.Add(1)
+		s.reply(f.ID, wire.StatusBusy, errPayload("server at capacity, retry"))
+		return
+	}
+	s.srv.requests.Add(1)
+	status, payload := s.exec(f)
+	<-s.srv.inflight
+	s.reply(f.ID, status, payload)
+	s.srv.observe(f.Kind, time.Since(start))
+}
+
+// errPayload encodes an error response body.
+func errPayload(msg string) []byte {
+	return wire.NewBuilder(len(msg) + 4).Blob([]byte(msg)).Bytes()
+}
+
+// fail maps an engine or decode error onto its wire status.
+func fail(err error) (byte, []byte) {
+	var status byte
+	switch {
+	case errors.Is(err, engine.ErrClosed):
+		status = wire.StatusClosed
+	case errors.Is(err, engine.ErrLockConflict):
+		status = wire.StatusLockConflict
+	case errors.Is(err, engine.ErrTxClosed):
+		status = wire.StatusTxClosed
+	case errors.Is(err, engine.ErrNoTable):
+		status = wire.StatusNoTable
+	case errors.Is(err, engine.ErrNoTuple):
+		status = wire.StatusNoTuple
+	case errors.Is(err, wire.ErrBadRequest):
+		status = wire.StatusBadRequest
+	default:
+		status = wire.StatusInternal
+	}
+	return status, errPayload(err.Error())
+}
+
+func (s *session) table(name string) (*engine.Table, error) {
+	if t, ok := s.tables[name]; ok {
+		return t, nil
+	}
+	t, err := s.srv.db.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	s.tables[name] = t
+	return t, nil
+}
+
+// tx resolves a transaction id, reporting whether it exists and whether
+// an earlier pipelined op already poisoned it.
+func (s *session) tx(id uint64) (*engine.Tx, bool, bool) {
+	tx, ok := s.txs[id]
+	if !ok {
+		return nil, false, false
+	}
+	_, poisoned := s.poison[id]
+	return tx, true, poisoned
+}
+
+// exec runs one decoded request and returns the response status and
+// payload. Mutating ops that fail poison their transaction: every later
+// op of that transaction answers StatusTxPoisoned without executing,
+// and its COMMIT aborts instead — so a client that pipelines
+// BEGIN..COMMIT blindly can never commit a half-applied transaction.
+func (s *session) exec(f wire.Frame) (byte, []byte) {
+	r := wire.NewReader(f.Payload)
+	switch f.Kind {
+	case wire.OpPing:
+		return wire.StatusOK, nil
+
+	case wire.OpBegin:
+		id := r.Uint64()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		if _, open := s.txs[id]; open {
+			return wire.StatusBadRequest, errPayload("txid already open on this connection")
+		}
+		tx, err := s.srv.db.Begin(s.w)
+		if err != nil {
+			return fail(err)
+		}
+		s.txs[id] = tx
+		return wire.StatusOK, nil
+
+	case wire.OpCommit, wire.OpAbort:
+		id := r.Uint64()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		tx, ok, poisoned := s.tx(id)
+		if !ok {
+			return fail(engine.ErrTxClosed)
+		}
+		delete(s.txs, id)
+		if poisoned {
+			reason := s.poison[id]
+			delete(s.poison, id)
+			_ = tx.Abort()
+			if f.Kind == wire.OpAbort {
+				return wire.StatusOK, nil
+			}
+			return wire.StatusTxPoisoned, errPayload("aborted: " + reason)
+		}
+		var err error
+		if f.Kind == wire.OpCommit {
+			err = tx.Commit()
+		} else {
+			err = tx.Abort()
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return wire.StatusOK, nil
+
+	case wire.OpInsert:
+		id, name, data := r.Uint64(), r.String(), r.Blob()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		tx, ok, poisoned := s.tx(id)
+		if !ok {
+			return fail(engine.ErrTxClosed)
+		}
+		if poisoned {
+			return wire.StatusTxPoisoned, errPayload(s.poison[id])
+		}
+		tbl, err := s.table(name)
+		if err != nil {
+			return s.poisonTx(id, err)
+		}
+		rid, err := tbl.Insert(tx, data)
+		if err != nil {
+			return s.poisonTx(id, err)
+		}
+		return wire.StatusOK, wire.NewBuilder(10).RID(netRID(rid)).Bytes()
+
+	case wire.OpRead:
+		name, rid := r.String(), r.RID()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		tbl, err := s.table(name)
+		if err != nil {
+			return fail(err)
+		}
+		data, err := tbl.Read(s.w, coreRID(rid))
+		if err != nil {
+			return fail(err)
+		}
+		return wire.StatusOK, wire.NewBuilder(len(data) + 4).Blob(data).Bytes()
+
+	case wire.OpUpdate:
+		id, name, rid, data := r.Uint64(), r.String(), r.RID(), r.Blob()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		return s.mutate(id, name, func(tx *engine.Tx, tbl *engine.Table) error {
+			return tbl.Update(tx, coreRID(rid), data)
+		})
+
+	case wire.OpUpdateField:
+		id, name, rid := r.Uint64(), r.String(), r.RID()
+		off, val := r.Uint32(), r.Blob()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		return s.mutate(id, name, func(tx *engine.Tx, tbl *engine.Table) error {
+			return tbl.UpdateField(tx, coreRID(rid), int(off), val)
+		})
+
+	case wire.OpDelete:
+		id, name, rid := r.Uint64(), r.String(), r.RID()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		return s.mutate(id, name, func(tx *engine.Tx, tbl *engine.Table) error {
+			return tbl.Delete(tx, coreRID(rid))
+		})
+
+	case wire.OpScan:
+		name, limit := r.String(), r.Uint32()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		tbl, err := s.table(name)
+		if err != nil {
+			return fail(err)
+		}
+		b := wire.NewBuilder(4096)
+		b.Uint32(0) // patched with the count below
+		var count uint32
+		err = tbl.Scan(s.w, func(rid core.RID, tuple []byte) bool {
+			b.RID(netRID(rid)).Blob(tuple)
+			count++
+			return limit == 0 || count < limit
+		})
+		if err != nil {
+			return fail(err)
+		}
+		payload := b.Bytes()
+		payload[0] = byte(count >> 24)
+		payload[1] = byte(count >> 16)
+		payload[2] = byte(count >> 8)
+		payload[3] = byte(count)
+		return wire.StatusOK, payload
+
+	case wire.OpStats:
+		doc, err := s.srv.StatsDocument()
+		if err != nil {
+			return fail(err)
+		}
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.StatusOK, wire.NewBuilder(len(raw) + 4).Blob(raw).Bytes()
+
+	default:
+		return wire.StatusBadRequest, errPayload("unknown opcode")
+	}
+}
+
+// mutate runs one tx-scoped write op with the shared poison checks.
+func (s *session) mutate(id uint64, name string, op func(*engine.Tx, *engine.Table) error) (byte, []byte) {
+	tx, ok, poisoned := s.tx(id)
+	if !ok {
+		return fail(engine.ErrTxClosed)
+	}
+	if poisoned {
+		return wire.StatusTxPoisoned, errPayload(s.poison[id])
+	}
+	tbl, err := s.table(name)
+	if err != nil {
+		return s.poisonTx(id, err)
+	}
+	if err := op(tx, tbl); err != nil {
+		return s.poisonTx(id, err)
+	}
+	return wire.StatusOK, nil
+}
+
+// poisonTx records the first failure of a transaction's op and returns
+// that op's own status (the poison surfaces on later ops and COMMIT).
+func (s *session) poisonTx(id uint64, err error) (byte, []byte) {
+	if _, ok := s.poison[id]; !ok {
+		s.poison[id] = err.Error()
+	}
+	return fail(err)
+}
+
+func netRID(r core.RID) wire.RID  { return wire.RID{Page: uint64(r.Page), Slot: r.Slot} }
+func coreRID(r wire.RID) core.RID { return core.RID{Page: core.PageID(r.Page), Slot: r.Slot} }

@@ -1,0 +1,361 @@
+// Package wire defines the binary protocol the IPA network service
+// speaks: length-prefixed frames carrying a request id (so clients can
+// pipeline many requests on one connection and correlate the responses),
+// an opcode or status byte, and an op-specific payload.
+//
+// Frame layout (all integers big-endian):
+//
+//	uint32  n       length of everything after this field
+//	uint64  id      request id, echoed verbatim in the response
+//	uint8   kind    opcode (request) or status (response)
+//	[]byte  payload op-specific (see the table below)
+//
+// Request payloads → response payloads (on StatusOK):
+//
+//	BEGIN        txid u64                         → —
+//	COMMIT       txid u64                         → —
+//	ABORT        txid u64                         → —
+//	INSERT       txid u64, table str, data bytes  → rid
+//	READ         table str, rid                   → data bytes
+//	UPDATE       txid u64, table str, rid, data   → —
+//	UPDATEFIELD  txid u64, table str, rid,
+//	             off u32, val bytes               → —
+//	DELETE       txid u64, table str, rid         → —
+//	SCAN         table str, limit u32             → count u32, count×(rid, data bytes)
+//	STATS        —                                → JSON bytes (server stats document)
+//	PING         —                                → —
+//
+// where `str` is uint16 length + bytes, `bytes` is uint32 length +
+// bytes, and `rid` is page u64 + slot u16. Error responses carry the
+// status code plus a human-readable message as `bytes`.
+//
+// Transaction ids are client-chosen handles, scoped to the connection
+// and unique among its open transactions. The client picking the id is
+// what makes single-round-trip pipelined transactions possible: BEGIN,
+// the ops and COMMIT can all be written before any response arrives,
+// because every frame already knows the id BEGIN will bind.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcodes.
+const (
+	OpBegin byte = iota + 1
+	OpCommit
+	OpAbort
+	OpInsert
+	OpRead
+	OpUpdate
+	OpUpdateField
+	OpDelete
+	OpScan
+	OpStats
+	OpPing
+)
+
+// OpName returns the wire name of an opcode (used as the metrics key of
+// the server's per-op latency histograms).
+func OpName(op byte) string {
+	switch op {
+	case OpBegin:
+		return "BEGIN"
+	case OpCommit:
+		return "COMMIT"
+	case OpAbort:
+		return "ABORT"
+	case OpInsert:
+		return "INSERT"
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpUpdateField:
+		return "UPDATEFIELD"
+	case OpDelete:
+		return "DELETE"
+	case OpScan:
+		return "SCAN"
+	case OpStats:
+		return "STATS"
+	case OpPing:
+		return "PING"
+	default:
+		return fmt.Sprintf("OP(%d)", op)
+	}
+}
+
+// Response status codes.
+const (
+	StatusOK           byte = 0
+	StatusInternal     byte = 1
+	StatusClosed       byte = 2 // server draining / database closed
+	StatusBusy         byte = 3 // backpressure admission timed out; transient
+	StatusLockConflict byte = 4 // no-wait tuple lock lost; abort and retry the tx
+	StatusTxClosed     byte = 5
+	StatusTxPoisoned   byte = 6 // an earlier pipelined op of this tx failed; tx aborted
+	StatusNoTable      byte = 7
+	StatusNoTuple      byte = 8
+	StatusBadRequest   byte = 9
+)
+
+// Sentinel errors the client maps status codes onto, so callers use
+// errors.Is instead of comparing bytes.
+var (
+	ErrClosed       = errors.New("wire: server closed")
+	ErrBusy         = errors.New("wire: server busy")
+	ErrLockConflict = errors.New("wire: lock conflict")
+	ErrTxClosed     = errors.New("wire: transaction closed")
+	ErrTxPoisoned   = errors.New("wire: transaction poisoned by earlier pipelined error")
+	ErrNoTable      = errors.New("wire: no such table")
+	ErrNoTuple      = errors.New("wire: no such tuple")
+	ErrBadRequest   = errors.New("wire: bad request")
+	ErrInternal     = errors.New("wire: internal server error")
+
+	// ErrFrameTooLarge is returned by ReadFrame when the length prefix
+	// exceeds the reader's limit (protects both sides from a corrupt or
+	// hostile peer allocating unbounded memory).
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+)
+
+// sentinelOf maps a status byte to its sentinel error.
+func sentinelOf(code byte) error {
+	switch code {
+	case StatusClosed:
+		return ErrClosed
+	case StatusBusy:
+		return ErrBusy
+	case StatusLockConflict:
+		return ErrLockConflict
+	case StatusTxClosed:
+		return ErrTxClosed
+	case StatusTxPoisoned:
+		return ErrTxPoisoned
+	case StatusNoTable:
+		return ErrNoTable
+	case StatusNoTuple:
+		return ErrNoTuple
+	case StatusBadRequest:
+		return ErrBadRequest
+	default:
+		return ErrInternal
+	}
+}
+
+// StatusError is an error response decoded from the wire: the status
+// code, the server's message, and the sentinel it unwraps to.
+type StatusError struct {
+	Code    byte
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("%v (status %d): %s", sentinelOf(e.Code), e.Code, e.Message)
+}
+
+// Unwrap lets errors.Is match the sentinel.
+func (e *StatusError) Unwrap() error { return sentinelOf(e.Code) }
+
+// IsTransient reports whether the error is worth an automatic bounded
+// retry: only backpressure admission timeouts qualify. Lock conflicts
+// are application-level aborts (retry the whole transaction, not the
+// request); everything else is terminal for the request.
+func IsTransient(err error) bool { return errors.Is(err, ErrBusy) }
+
+// RID is the network form of a record id.
+type RID struct {
+	Page uint64
+	Slot uint16
+}
+
+// MaxFrame is the default frame size limit: generous enough for a SCAN
+// of a bench table, small enough to bound a bad peer.
+const MaxFrame = 64 << 20
+
+// frame header: u32 length + u64 id + u8 kind.
+const headerLen = 4 + 8 + 1
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	ID      uint64
+	Kind    byte // opcode (request) or status (response)
+	Payload []byte
+}
+
+// WriteFrame encodes and writes one frame. It issues a single Write so
+// concurrent writers serialised by a mutex never interleave partial
+// frames.
+func WriteFrame(w io.Writer, id uint64, kind byte, payload []byte) error {
+	buf := make([]byte, headerLen+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(8+1+len(payload)))
+	binary.BigEndian.PutUint64(buf[4:12], id)
+	buf[12] = kind
+	copy(buf[13:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, rejecting frames larger than maxFrame
+// (≤ 0 selects MaxFrame).
+func ReadFrame(r io.Reader, maxFrame int) (Frame, error) {
+	if maxFrame <= 0 {
+		maxFrame = MaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n < 9 {
+		return Frame{}, fmt.Errorf("%w: frame length %d below header", ErrBadRequest, n)
+	}
+	if n > maxFrame {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	return Frame{
+		ID:      binary.BigEndian.Uint64(body[0:8]),
+		Kind:    body[8],
+		Payload: body[9:],
+	}, nil
+}
+
+// Builder appends wire-encoded values to a payload buffer.
+type Builder struct{ buf []byte }
+
+// NewBuilder returns a builder with the given capacity hint.
+func NewBuilder(capacity int) *Builder {
+	return &Builder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded payload.
+func (b *Builder) Bytes() []byte { return b.buf }
+
+// Uint64 appends a big-endian u64.
+func (b *Builder) Uint64(v uint64) *Builder {
+	b.buf = binary.BigEndian.AppendUint64(b.buf, v)
+	return b
+}
+
+// Uint32 appends a big-endian u32.
+func (b *Builder) Uint32(v uint32) *Builder {
+	b.buf = binary.BigEndian.AppendUint32(b.buf, v)
+	return b
+}
+
+// Uint16 appends a big-endian u16.
+func (b *Builder) Uint16(v uint16) *Builder {
+	b.buf = binary.BigEndian.AppendUint16(b.buf, v)
+	return b
+}
+
+// String appends a u16-length-prefixed string.
+func (b *Builder) String(s string) *Builder {
+	b.Uint16(uint16(len(s)))
+	b.buf = append(b.buf, s...)
+	return b
+}
+
+// Blob appends a u32-length-prefixed byte slice.
+func (b *Builder) Blob(p []byte) *Builder {
+	b.Uint32(uint32(len(p)))
+	b.buf = append(b.buf, p...)
+	return b
+}
+
+// RID appends a record id.
+func (b *Builder) RID(r RID) *Builder {
+	return b.Uint64(r.Page).Uint16(r.Slot)
+}
+
+// Reader decodes wire-encoded values from a payload buffer. The first
+// decode failure sticks: subsequent reads return zero values and Err()
+// reports the failure, so call sites chain reads and check once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a payload.
+func NewReader(p []byte) *Reader { return &Reader{buf: p} }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports how many bytes are left.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: truncated payload (need %d past offset %d of %d)",
+			ErrBadRequest, n, r.off, len(r.buf))
+		return nil
+	}
+	p := r.buf[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// Uint64 decodes a big-endian u64.
+func (r *Reader) Uint64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+// Uint32 decodes a big-endian u32.
+func (r *Reader) Uint32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+// Uint16 decodes a big-endian u16.
+func (r *Reader) Uint16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(p)
+}
+
+// String decodes a u16-length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.Uint16())
+	p := r.take(n)
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+// Blob decodes a u32-length-prefixed byte slice (copied, so the caller
+// may retain it past the frame buffer).
+func (r *Reader) Blob() []byte {
+	n := int(r.Uint32())
+	p := r.take(n)
+	if p == nil {
+		return nil
+	}
+	return append([]byte(nil), p...)
+}
+
+// RID decodes a record id.
+func (r *Reader) RID() RID {
+	return RID{Page: r.Uint64(), Slot: r.Uint16()}
+}

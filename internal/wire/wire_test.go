@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := NewBuilder(64).
+		Uint64(42).String("tpcb_account").RID(RID{Page: 7, Slot: 3}).
+		Blob([]byte("hello")).Bytes()
+	if err := WriteFrame(&buf, 99, OpUpdate, payload); err != nil {
+		t.Fatal(err)
+	}
+	// A second frame behind it, to prove framing keeps them apart.
+	if err := WriteFrame(&buf, 100, OpPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != 99 || f.Kind != OpUpdate {
+		t.Fatalf("frame = %+v", f)
+	}
+	r := NewReader(f.Payload)
+	if tx := r.Uint64(); tx != 42 {
+		t.Fatalf("txid = %d", tx)
+	}
+	if s := r.String(); s != "tpcb_account" {
+		t.Fatalf("table = %q", s)
+	}
+	if rid := r.RID(); rid != (RID{Page: 7, Slot: 3}) {
+		t.Fatalf("rid = %+v", rid)
+	}
+	if b := r.Blob(); string(b) != "hello" {
+		t.Fatalf("blob = %q", b)
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+	f2, err := ReadFrame(&buf, 0)
+	if err != nil || f2.ID != 100 || f2.Kind != OpPing || len(f2.Payload) != 0 {
+		t.Fatalf("second frame = %+v err=%v", f2, err)
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 1, OpRead, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, 128); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+	// Truncated stream → io error, not a hang.
+	short := bytes.NewReader([]byte{0, 0, 0, 20, 1, 2})
+	if _, err := ReadFrame(short, 0); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	// Length below the id+kind header is malformed.
+	bad := bytes.NewReader([]byte{0, 0, 0, 3, 1, 2, 3})
+	if _, err := ReadFrame(bad, 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("undersized frame: %v", err)
+	}
+}
+
+func TestReaderSticksOnError(t *testing.T) {
+	r := NewReader([]byte{1, 2}) // too short for a u64
+	_ = r.Uint64()
+	if r.Err() == nil {
+		t.Fatal("no error on truncated read")
+	}
+	// Subsequent reads stay zero and don't panic.
+	if v := r.Uint32(); v != 0 {
+		t.Fatalf("read after error = %d", v)
+	}
+	if !errors.Is(r.Err(), ErrBadRequest) {
+		t.Fatalf("err = %v", r.Err())
+	}
+}
+
+func TestStatusErrorSentinels(t *testing.T) {
+	cases := []struct {
+		code byte
+		want error
+	}{
+		{StatusClosed, ErrClosed},
+		{StatusBusy, ErrBusy},
+		{StatusLockConflict, ErrLockConflict},
+		{StatusTxClosed, ErrTxClosed},
+		{StatusTxPoisoned, ErrTxPoisoned},
+		{StatusNoTable, ErrNoTable},
+		{StatusNoTuple, ErrNoTuple},
+		{StatusBadRequest, ErrBadRequest},
+		{StatusInternal, ErrInternal},
+	}
+	for _, c := range cases {
+		err := error(&StatusError{Code: c.code, Message: "m"})
+		if !errors.Is(err, c.want) {
+			t.Errorf("status %d does not unwrap to %v", c.code, c.want)
+		}
+	}
+	if !IsTransient(&StatusError{Code: StatusBusy}) {
+		t.Error("busy not transient")
+	}
+	if IsTransient(&StatusError{Code: StatusLockConflict}) {
+		t.Error("lock conflict must not be transient")
+	}
+}
+
+func TestWriteFrameSingleWrite(t *testing.T) {
+	// The writer contract is one Write call per frame, so a mutex around
+	// WriteFrame is enough to keep concurrent frames from interleaving.
+	w := &countingWriter{}
+	if err := WriteFrame(w, 7, OpPing, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if w.calls != 1 {
+		t.Fatalf("WriteFrame issued %d writes, want 1", w.calls)
+	}
+}
+
+type countingWriter struct{ calls int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return len(p), nil
+}
+
+var _ io.Writer = (*countingWriter)(nil)

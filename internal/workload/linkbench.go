@@ -67,7 +67,10 @@ func (l *LinkBench) Load(w *sim.Worker) error {
 		return err
 	}
 	rng := rand.New(rand.NewSource(17))
-	tx := db.Begin(w)
+	tx, err := db.Begin(w)
+	if err != nil {
+		return err
+	}
 	for n := 1; n <= l.Nodes; n++ {
 		tup := l.schNode.New()
 		l.schNode.SetUint(tup, 0, uint64(n))
@@ -101,7 +104,9 @@ func (l *LinkBench) Load(w *sim.Worker) error {
 			if err := tx.Commit(); err != nil {
 				return err
 			}
-			tx = db.Begin(w)
+			if tx, err = db.Begin(w); err != nil {
+				return err
+			}
 		}
 	}
 	if err := tx.Commit(); err != nil {
@@ -178,7 +183,10 @@ func (l *LinkBench) updateNode(w *sim.Worker, rng *rand.Rand) error {
 	if err != nil {
 		return err
 	}
-	tx := l.DB.Begin(w)
+	tx, err := l.DB.Begin(w)
+	if err != nil {
+		return err
+	}
 	cur, err := l.node.Read(w, rid)
 	if err != nil {
 		tx.Abort()
@@ -203,7 +211,10 @@ func (l *LinkBench) updateNode(w *sim.Worker, rng *rand.Rand) error {
 
 func (l *LinkBench) addAssoc(w *sim.Worker, rng *rand.Rand) error {
 	src := l.pickNode(rng)
-	tx := l.DB.Begin(w)
+	tx, err := l.DB.Begin(w)
+	if err != nil {
+		return err
+	}
 	at := l.schAssoc.New()
 	l.schAssoc.SetUint(at, 0, src)
 	l.schAssoc.SetUint(at, 1, uint64(rng.Intn(l.Nodes)+1))
@@ -239,7 +250,10 @@ func (l *LinkBench) updateAssoc(w *sim.Worker, rng *rand.Rand) error {
 	if !ok {
 		return nil // assoc was never created for this seq
 	}
-	tx := l.DB.Begin(w)
+	tx, err := l.DB.Begin(w)
+	if err != nil {
+		return err
+	}
 	cur, err := l.assoc.Read(w, rid)
 	if err != nil {
 		tx.Abort()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ipa/internal/engine"
@@ -45,6 +46,10 @@ func RunParallel(wl Workload, terminals []*sim.Worker, txTotal int, seed int64) 
 	tallies := make([]tally, len(terminals))
 	errs := make([]error, len(terminals))
 	perTypeMu := sync.Mutex{}
+	// One terminal hitting a non-abort error stops the others at their
+	// next transaction boundary: the run is doomed, so finishing quotas
+	// would only bury the first failure under later noise.
+	var stop atomic.Bool
 
 	quota := func(t int) int {
 		q := txTotal / len(terminals)
@@ -62,6 +67,9 @@ func RunParallel(wl Workload, terminals []*sim.Worker, txTotal int, seed int64) 
 			w := terminals[t]
 			rng := rand.New(rand.NewSource(seed + int64(t)*7919))
 			for i := 0; i < quota(t); i++ {
+				if stop.Load() {
+					return
+				}
 				before := w.Now()
 				w.Compute(TxCPUTime)
 				name, err := wl.RunOne(w, rng)
@@ -71,6 +79,7 @@ func RunParallel(wl Workload, terminals []*sim.Worker, txTotal int, seed int64) 
 						continue
 					}
 					errs[t] = err
+					stop.Store(true)
 					return
 				}
 				lat := time.Duration(w.Now() - before)

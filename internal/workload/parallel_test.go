@@ -1,7 +1,10 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"ipa/internal/core"
@@ -84,6 +87,54 @@ func TestRunParallelTPCB(t *testing.T) {
 	// workers must have produced at least some lock conflicts OR all
 	// committed — both are legal; what is illegal is a deadlock, which
 	// would have hung the test.
+}
+
+// faultyWorkload fails one specific RunOne call with a terminal
+// (non-abort) error; every other call succeeds instantly.
+type faultyWorkload struct {
+	calls  atomic.Int64
+	failAt int64
+}
+
+var errBoom = errors.New("workload: injected terminal failure")
+
+func (f *faultyWorkload) Name() string             { return "faulty" }
+func (f *faultyWorkload) Load(w *sim.Worker) error { return nil }
+func (f *faultyWorkload) RunOne(w *sim.Worker, rng *rand.Rand) (string, error) {
+	if f.calls.Add(1) == f.failAt {
+		return "op", errBoom
+	}
+	return "op", nil
+}
+
+// TestRunParallelErrorPropagation: when one terminal hits a non-abort
+// error, RunParallel must surface that error (wrapped, matchable with
+// errors.Is) without deadlocking the other terminals — and the early
+// stop must keep them from grinding through their full quotas first.
+func TestRunParallelErrorPropagation(t *testing.T) {
+	const terminals, total, failAt = 8, 80_000, 100
+	tl := sim.NewTimeline(1)
+	ws := make([]*sim.Worker, terminals)
+	for i := range ws {
+		ws[i] = tl.NewWorker()
+	}
+	wl := &faultyWorkload{failAt: failAt}
+	res, err := RunParallel(wl, ws, total, 42)
+	if err == nil {
+		t.Fatal("terminal failure did not surface")
+	}
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("error %v does not unwrap to the injected failure", err)
+	}
+	// Early stop: the healthy terminals bail at their next transaction
+	// boundary instead of finishing ~10k transactions each.
+	if calls := wl.calls.Load(); calls > failAt+1000 {
+		t.Fatalf("ran %d transactions after the failure (early stop broken)", calls)
+	}
+	// The partial tallies survive for the caller's post-mortem.
+	if res.Workload != "faulty" {
+		t.Fatalf("results lost: %+v", res)
+	}
 }
 
 // BenchmarkConcurrentTPCB measures committed-transaction throughput (in

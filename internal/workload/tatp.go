@@ -45,7 +45,10 @@ func (t *TATP) Load(w *sim.Worker) error {
 	if t.subIdx, err = db.CreateIndex("tatp_subscriber_pk", t.Region); err != nil {
 		return err
 	}
-	tx := db.Begin(w)
+	tx, err := db.Begin(w)
+	if err != nil {
+		return err
+	}
 	for s := 1; s <= t.Subscribers; s++ {
 		tup := t.sch.New()
 		t.sch.SetUint(tup, 0, uint64(s))
@@ -63,7 +66,9 @@ func (t *TATP) Load(w *sim.Worker) error {
 			if err := tx.Commit(); err != nil {
 				return err
 			}
-			tx = db.Begin(w)
+			if tx, err = db.Begin(w); err != nil {
+				return err
+			}
 		}
 	}
 	if err := tx.Commit(); err != nil {
@@ -87,7 +92,10 @@ func (t *TATP) RunOne(w *sim.Worker, rng *rand.Rand) (string, error) {
 		return "GetSubscriberData", err
 	case p < 96:
 		// UPDATE_SUBSCRIBER_DATA: bit + hex field, 2 net bytes.
-		tx := t.DB.Begin(w)
+		tx, err := t.DB.Begin(w)
+		if err != nil {
+			return "UpdateSubscriberData", err
+		}
 		cur, err := t.subscriber.Read(w, rid)
 		if err != nil {
 			tx.Abort()
@@ -102,7 +110,10 @@ func (t *TATP) RunOne(w *sim.Worker, rng *rand.Rand) (string, error) {
 		return "UpdateSubscriberData", tx.Commit()
 	default:
 		// UPDATE_LOCATION: 4-byte location field.
-		tx := t.DB.Begin(w)
+		tx, err := t.DB.Begin(w)
+		if err != nil {
+			return "UpdateLocation", err
+		}
 		cur, err := t.subscriber.Read(w, rid)
 		if err != nil {
 			tx.Abort()

@@ -94,7 +94,10 @@ func (b *TPCB) Load(w *sim.Worker) error {
 		}
 	}
 	// Accounts, batch-committed for load speed.
-	tx := db.Begin(w)
+	tx, err := db.Begin(w)
+	if err != nil {
+		return err
+	}
 	for a := 0; a < b.Accounts(); a++ {
 		tup := b.schAcct.New()
 		aid := uint64(a + 1)
@@ -114,7 +117,9 @@ func (b *TPCB) Load(w *sim.Worker) error {
 			if err := tx.Commit(); err != nil {
 				return err
 			}
-			tx = db.Begin(w)
+			if tx, err = db.Begin(w); err != nil {
+				return err
+			}
 		}
 	}
 	if err := tx.Commit(); err != nil {
@@ -138,7 +143,10 @@ func (b *TPCB) RunOne(w *sim.Worker, rng *rand.Rand) (string, error) {
 	if !ok {
 		return "Account_Update", fmt.Errorf("tpcb: account %d missing", aid)
 	}
-	tx := db.Begin(w)
+	tx, err := db.Begin(w)
+	if err != nil {
+		return "Account_Update", err
+	}
 	// Account balance += delta (4-8 net bytes; small delta touches the
 	// low-order bytes only).
 	cur, err := b.account.Read(w, arid)

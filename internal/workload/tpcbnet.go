@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"ipa/internal/client"
+	"ipa/internal/engine"
+	"ipa/internal/wire"
+)
+
+// NetTPCB drives the TPC-B Account_Update transaction against an IPA
+// server over TCP, using the same tables a local TPCB.Load created
+// (the server preloads them; see cmd/ipaserver). The wire protocol has
+// no index-lookup op, so Init scans the tables once and builds
+// client-side id→RID maps; each transaction then costs two pipelined
+// round trips: one for the three balance reads, one for the whole
+// BEGIN..COMMIT batch.
+//
+// The balance read happens outside the transaction (READ serves
+// committed state), so concurrent clients hitting the same account are
+// a classic optimistic read-modify-write: the no-wait lock makes one of
+// them abort (StatusLockConflict or StatusTxPoisoned), which RunOne
+// reports as a clean abort for the caller to count and retry.
+type NetTPCB struct {
+	branchRIDs  []wire.RID // index bid-1
+	tellerRIDs  []wire.RID // index tid-1
+	accountRIDs []wire.RID // index aid-1
+
+	schAcct *engine.Schema
+	schCtl  *engine.Schema
+	schHist *engine.Schema
+
+	seq atomic.Uint64 // history timestamp surrogate
+}
+
+// NewNetTPCB builds a driver; Init must run before RunOne.
+func NewNetTPCB() *NetTPCB {
+	schAcct, _ := engine.NewSchema(4, 4, 8, 84)
+	schCtl, _ := engine.NewSchema(4, 4, 8, 84)
+	schHist, _ := engine.NewSchema(4, 4, 4, 8, 8)
+	return &NetTPCB{schAcct: schAcct, schCtl: schCtl, schHist: schHist}
+}
+
+// Accounts returns the number of accounts discovered by Init.
+func (n *NetTPCB) Accounts() int { return len(n.accountRIDs) }
+
+// Init scans the TPC-B tables and builds the id→RID maps.
+func (n *NetTPCB) Init(c *client.Conn) error {
+	var err error
+	if n.branchRIDs, err = n.ridMap(c, "tpcb_branch", n.schCtl); err != nil {
+		return err
+	}
+	if n.tellerRIDs, err = n.ridMap(c, "tpcb_teller", n.schCtl); err != nil {
+		return err
+	}
+	if n.accountRIDs, err = n.ridMap(c, "tpcb_account", n.schAcct); err != nil {
+		return err
+	}
+	if len(n.branchRIDs) == 0 || len(n.tellerRIDs) != 10*len(n.branchRIDs) {
+		return fmt.Errorf("tpcbnet: unexpected cardinality: %d branches, %d tellers",
+			len(n.branchRIDs), len(n.tellerRIDs))
+	}
+	return nil
+}
+
+// ridMap scans one table and slots each tuple's RID at its primary id.
+func (n *NetTPCB) ridMap(c *client.Conn, table string, sch *engine.Schema) ([]wire.RID, error) {
+	entries, err := c.Scan(table, 0)
+	if err != nil {
+		return nil, fmt.Errorf("tpcbnet: scan %s: %w", table, err)
+	}
+	rids := make([]wire.RID, len(entries))
+	for _, e := range entries {
+		id := sch.GetUint(e.Data, 0)
+		if id == 0 || id > uint64(len(entries)) {
+			return nil, fmt.Errorf("tpcbnet: %s: tuple id %d out of range 1..%d",
+				table, id, len(entries))
+		}
+		rids[id-1] = e.RID
+	}
+	return rids, nil
+}
+
+// Aborted reports whether a RunOne error is a clean concurrency abort
+// (the server rolled the transaction back; retrying is safe).
+func Aborted(err error) bool {
+	return wire.IsTransient(err) ||
+		errors.Is(err, wire.ErrLockConflict) || errors.Is(err, wire.ErrTxPoisoned)
+}
+
+// RunOne executes one Account_Update transaction: three pipelined
+// balance reads, then the pipelined BEGIN, three 8-byte UPDATEFIELDs
+// (the IPA delta path), one History INSERT and the COMMIT.
+func (n *NetTPCB) RunOne(c *client.Conn, rng *rand.Rand) error {
+	aid := rng.Intn(len(n.accountRIDs))
+	tellerIdx := rng.Intn(len(n.tellerRIDs))
+	branchIdx := tellerIdx / 10
+	delta := uint64(rng.Intn(16_000_000) + 1)
+
+	arid := n.accountRIDs[aid]
+	trid := n.tellerRIDs[tellerIdx]
+	brid := n.branchRIDs[branchIdx]
+
+	reads := [3]*client.Pending{
+		c.ReadAsync("tpcb_account", arid),
+		c.ReadAsync("tpcb_teller", trid),
+		c.ReadAsync("tpcb_branch", brid),
+	}
+	var bals [3]uint64
+	for i, p := range reads {
+		f, err := p.Wait()
+		if err != nil {
+			return fmt.Errorf("tpcbnet: balance read: %w", err)
+		}
+		r := wire.NewReader(f.Payload)
+		tuple := r.Blob()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		sch := n.schCtl
+		if i == 0 {
+			sch = n.schAcct
+		}
+		bals[i] = sch.GetUint(tuple, 2)
+	}
+
+	h := n.schHist.New()
+	n.schHist.SetUint(h, 0, uint64(aid+1))
+	n.schHist.SetUint(h, 1, uint64(tellerIdx+1))
+	n.schHist.SetUint(h, 2, uint64(branchIdx+1))
+	n.schHist.SetUint(h, 3, delta)
+	n.schHist.SetUint(h, 4, n.seq.Add(1))
+
+	balOff := n.schAcct.Offset(2) // 8 for all three tables
+	tx := c.NewTxID()
+	pend := [6]*client.Pending{
+		c.BeginAsync(tx),
+		c.UpdateFieldAsync(tx, "tpcb_account", arid, balOff, leU64(bals[0]+delta)),
+		c.UpdateFieldAsync(tx, "tpcb_teller", trid, balOff, leU64(bals[1]+delta)),
+		c.UpdateFieldAsync(tx, "tpcb_branch", brid, balOff, leU64(bals[2]+delta)),
+		c.InsertAsync(tx, "tpcb_history", h),
+		c.CommitAsync(tx),
+	}
+	var firstErr error
+	for _, p := range pend {
+		if _, err := p.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// leU64 encodes v the way engine.Schema stores uints (little-endian).
+func leU64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}

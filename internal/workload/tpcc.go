@@ -112,7 +112,10 @@ func (c *TPCC) Load(w *sim.Worker) error {
 			c.distRIDs = append(c.distRIDs, drid)
 		}
 		// Customers.
-		tx := db.Begin(w)
+		tx, err := db.Begin(w)
+		if err != nil {
+			return err
+		}
 		for did := 1; did <= 10; did++ {
 			for cid := 1; cid <= c.CustomersPerDist; cid++ {
 				ct := c.schCust.New()
@@ -135,7 +138,9 @@ func (c *TPCC) Load(w *sim.Worker) error {
 			return err
 		}
 		// Stock.
-		tx = db.Begin(w)
+		if tx, err = db.Begin(w); err != nil {
+			return err
+		}
 		for iid := 1; iid <= c.ItemsPerWarehouse; iid++ {
 			st := c.schStock.New()
 			c.schStock.SetUint(st, 0, uint64(iid))
@@ -154,7 +159,9 @@ func (c *TPCC) Load(w *sim.Worker) error {
 				if err := tx.Commit(); err != nil {
 					return err
 				}
-				tx = db.Begin(w)
+				if tx, err = db.Begin(w); err != nil {
+					return err
+				}
 			}
 		}
 		if err := tx.Commit(); err != nil {
@@ -189,7 +196,10 @@ func (c *TPCC) newOrder(w *sim.Worker, rng *rand.Rand) error {
 	did := rng.Intn(10) + 1
 	distRID := c.distRIDs[(wid-1)*10+did-1]
 
-	tx := db.Begin(w)
+	tx, err := db.Begin(w)
+	if err != nil {
+		return err
+	}
 	// District: D_NEXT_O_ID += 1.
 	dt, err := c.district.Read(w, distRID)
 	if err != nil {
@@ -275,7 +285,10 @@ func (c *TPCC) payment(w *sim.Worker, rng *rand.Rand) error {
 	cid := NURand(rng, 1023, 1, c.CustomersPerDist)
 	amount := uint64(rng.Intn(500000) + 100)
 
-	tx := db.Begin(w)
+	tx, err := db.Begin(w)
+	if err != nil {
+		return err
+	}
 	wt, err := c.warehouse.Read(w, c.whRIDs[wid-1])
 	if err != nil {
 		tx.Abort()
@@ -351,7 +364,10 @@ func (c *TPCC) orderStatus(w *sim.Worker, rng *rand.Rand) error {
 func (c *TPCC) delivery(w *sim.Worker, rng *rand.Rand) error {
 	db := c.DB
 	wid := rng.Intn(c.Warehouses) + 1
-	tx := db.Begin(w)
+	tx, err := db.Begin(w)
+	if err != nil {
+		return err
+	}
 	for did := 1; did <= 10; did++ {
 		cid := rng.Intn(c.CustomersPerDist) + 1
 		crid, ok, err := c.custIdx.Lookup(w, c.custKey(wid, did, cid))

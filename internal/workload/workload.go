@@ -202,7 +202,10 @@ func simNow(w *sim.Worker) uint64 {
 // insertRow is a helper: single-tuple insert in its own transaction
 // during load phases.
 func insertRow(db *engine.DB, w *sim.Worker, t *engine.Table, tup []byte) (core.RID, error) {
-	tx := db.Begin(w)
+	tx, err := db.Begin(w)
+	if err != nil {
+		return core.RID{}, err
+	}
 	r, err := t.Insert(tx, tup)
 	if err != nil {
 		tx.Abort()
