@@ -1,6 +1,12 @@
 package client
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Get after Close.
+var ErrPoolClosed = errors.New("client: pool is closed")
 
 // Pool hands out connections to one server address, reusing healthy
 // idle connections and dialing (with the Options' bounded retry) when
@@ -20,9 +26,15 @@ func NewPool(addr string, opts Options) *Pool {
 	return &Pool{addr: addr, opts: opts.withDefaults()}
 }
 
-// Get returns an idle connection or dials a new one.
+// Get returns an idle connection or dials a new one. It fails with
+// ErrPoolClosed after Close (a dialed connection the pool never saw
+// again would leak).
 func (p *Pool) Get() (*Conn, error) {
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
 	for len(p.idle) > 0 {
 		c := p.idle[len(p.idle)-1]
 		p.idle = p.idle[:len(p.idle)-1]

@@ -1,0 +1,8 @@
+package server
+
+// OccupySlot claims one admission-semaphore slot, letting tests force
+// deterministic StatusBusy rejections. The returned func releases it.
+func (s *Server) OccupySlot() func() {
+	s.inflight <- struct{}{}
+	return func() { <-s.inflight }
+}

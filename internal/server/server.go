@@ -9,7 +9,10 @@
 //
 // Backpressure is a global in-flight semaphore: a request that cannot
 // get a slot within the admission timeout is answered StatusBusy (the
-// only transient, client-retryable status). Graceful shutdown stops
+// only transient, client-retryable status). Ops addressing a
+// transaction already open on their session are exempt — the
+// transaction was admitted at BEGIN, and rejecting one op of a
+// pipelined BEGIN..COMMIT burst would half-apply it. Graceful shutdown stops
 // accepting, lets every session finish the requests it has already read
 // off the wire, aborts transactions left open by disconnected or
 // drained clients, and then closes the database so the WAL ends with a

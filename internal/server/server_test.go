@@ -199,7 +199,9 @@ func TestServerIntegration(t *testing.T) {
 		t.Fatalf("admin JSON does not decode: %v", err)
 	}
 	resp.Body.Close()
-	if doc.Engine.Flash.Programs == 0 {
+	// LogFlushes is non-zero as soon as any commit is acknowledged;
+	// Flash.Programs would race the first buffer-pool eviction.
+	if doc.Engine.LogFlushes == 0 {
 		t.Error("admin engine stats empty mid-load")
 	}
 	for _, op := range []string{"BEGIN", "COMMIT", "INSERT"} {
@@ -441,5 +443,145 @@ func TestScanAndDelete(t *testing.T) {
 	// Commit of an unknown transaction handle.
 	if err := c.Commit(12345); !errors.Is(err, wire.ErrTxClosed) {
 		t.Fatalf("commit of unknown tx: %v, want ErrTxClosed", err)
+	}
+}
+
+// TestBusyAdmissionAtomicity: ops addressing an already-open
+// transaction bypass the admission semaphore, so a saturated server
+// cannot BUSY-reject the middle of a pipelined BEGIN..COMMIT burst and
+// half-commit it. With the only slot occupied, a burst whose BEGIN was
+// admitted earlier still runs to completion, a non-tx op is rejected
+// BUSY, and a burst whose BEGIN is rejected applies nothing.
+func TestBusyAdmissionAtomicity(t *testing.T) {
+	db, tl := newStack(t)
+	tbl, err := db.CreateTable("pairs", "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := mustBegin(t, db)
+	var pair [2]wire.RID
+	for j := range pair {
+		erid, err := tbl.Insert(setup, le64(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pair[j] = wire.RID{Page: uint64(erid.Page), Slot: erid.Slot}
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, addr, _ := startServer(t, db, tl, server.Config{
+		MaxInflight:    1,
+		AcquireTimeout: time.Millisecond,
+	})
+	defer srv.Shutdown(5 * time.Second)
+
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Admit a transaction while the slot is free, then saturate the
+	// server: the rest of the burst must still execute.
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := srv.OccupySlot()
+	pend := []*client.Pending{
+		c.UpdateFieldAsync(tx, "pairs", pair[0], 0, le64(1)),
+		c.UpdateFieldAsync(tx, "pairs", pair[1], 0, le64(1)),
+		c.CommitAsync(tx),
+	}
+	for i, p := range pend {
+		if _, err := p.Wait(); err != nil {
+			t.Fatalf("op %d of admitted burst under saturation: %v", i, err)
+		}
+	}
+	// A non-tx op has no exemption and is rejected BUSY.
+	if err := c.Ping(); !errors.Is(err, wire.ErrBusy) {
+		t.Fatalf("PING under saturation: %v, want ErrBusy", err)
+	}
+
+	// A burst whose BEGIN is rejected applies nothing: the handle never
+	// opens, so no op of it is exempt.
+	tx2 := c.NewTxID()
+	rejected := []*client.Pending{
+		c.BeginAsync(tx2),
+		c.UpdateFieldAsync(tx2, "pairs", pair[0], 0, le64(7)),
+		c.UpdateFieldAsync(tx2, "pairs", pair[1], 0, le64(7)),
+		c.CommitAsync(tx2),
+	}
+	if _, err := rejected[0].Wait(); !errors.Is(err, wire.ErrBusy) {
+		t.Fatalf("BEGIN under saturation: %v, want ErrBusy", err)
+	}
+	for i, p := range rejected[1:] {
+		if _, err := p.Wait(); !errors.Is(err, wire.ErrBusy) && !errors.Is(err, wire.ErrTxClosed) {
+			t.Fatalf("op %d after rejected BEGIN: %v, want ErrBusy or ErrTxClosed", i, err)
+		}
+	}
+	release()
+
+	for j, rid := range pair {
+		data, err := c.Read("pairs", rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := binary.LittleEndian.Uint64(data); v != 1 {
+			t.Errorf("tuple %d = %d, want 1 (admitted burst committed, rejected burst did not)", j, v)
+		}
+	}
+	doc, err := srv.StatsDocument()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Server.BusyRejected == 0 {
+		t.Error("no BUSY rejections recorded")
+	}
+}
+
+// TestScanFrameCap: a SCAN whose response would exceed the server's
+// MaxFrame fails StatusBadRequest instead of building a frame the
+// client's reader would reject (tearing down the connection); a limited
+// scan under the cap still succeeds on the same connection.
+func TestScanFrameCap(t *testing.T) {
+	db, tl := newStack(t)
+	if _, err := db.CreateTable("big", "data"); err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, _ := startServer(t, db, tl, server.Config{MaxFrame: 2048})
+	defer srv.Shutdown(5 * time.Second)
+
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 tuples × 22 encoded bytes ≈ 4.4 KiB, well past the 2 KiB cap.
+	for i := 0; i < 200; i++ {
+		if _, err := c.Insert(tx, "big", le64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Scan("big", 0); !errors.Is(err, wire.ErrBadRequest) {
+		t.Fatalf("oversized scan: %v, want ErrBadRequest", err)
+	}
+	entries, err := c.Scan("big", 10)
+	if err != nil {
+		t.Fatalf("limited scan after cap rejection: %v", err)
+	}
+	if len(entries) != 10 {
+		t.Fatalf("limited scan returned %d, want 10", len(entries))
 	}
 }

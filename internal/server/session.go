@@ -2,8 +2,10 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -137,23 +139,51 @@ func (s *session) reply(id uint64, status byte, payload []byte) {
 }
 
 // handle admits one request through the global in-flight semaphore,
-// executes it, responds, and records its service time.
+// executes it, responds, and records its service time. Ops addressing a
+// transaction already open on this session bypass admission: the
+// transaction was admitted at BEGIN, and BUSY-rejecting one op of a
+// pipelined BEGIN..COMMIT burst would otherwise commit the remainder —
+// a half-applied transaction. With the exemption, BUSY can only answer
+// ops that touch no open transaction state (BEGIN itself, reads, or
+// stragglers after a rejected BEGIN, which fail StatusTxClosed).
 func (s *session) handle(f wire.Frame) {
 	start := time.Now()
-	timer := time.NewTimer(s.srv.cfg.AcquireTimeout)
-	select {
-	case s.srv.inflight <- struct{}{}:
-		timer.Stop()
-	case <-timer.C:
-		s.srv.busyRejected.Add(1)
-		s.reply(f.ID, wire.StatusBusy, errPayload("server at capacity, retry"))
-		return
+	admitted := false
+	if !s.txExempt(f) {
+		timer := time.NewTimer(s.srv.cfg.AcquireTimeout)
+		select {
+		case s.srv.inflight <- struct{}{}:
+			timer.Stop()
+			admitted = true
+		case <-timer.C:
+			s.srv.busyRejected.Add(1)
+			s.reply(f.ID, wire.StatusBusy, errPayload("server at capacity, retry"))
+			return
+		}
 	}
 	s.srv.requests.Add(1)
 	status, payload := s.exec(f)
-	<-s.srv.inflight
+	if admitted {
+		<-s.srv.inflight
+	}
 	s.reply(f.ID, status, payload)
 	s.srv.observe(f.Kind, time.Since(start))
+}
+
+// txExempt reports whether f is a tx-scoped op whose transaction is
+// already open on this session (every such payload leads with the txid).
+func (s *session) txExempt(f wire.Frame) bool {
+	switch f.Kind {
+	case wire.OpCommit, wire.OpAbort, wire.OpInsert,
+		wire.OpUpdate, wire.OpUpdateField, wire.OpDelete:
+	default:
+		return false
+	}
+	if len(f.Payload) < 8 {
+		return false
+	}
+	_, open := s.txs[binary.BigEndian.Uint64(f.Payload[:8])]
+	return open
 }
 
 // errPayload encodes an error response body.
@@ -336,16 +366,30 @@ func (s *session) exec(f wire.Frame) (byte, []byte) {
 		if err != nil {
 			return fail(err)
 		}
+		// Responses are size-capped: a scan that would exceed the frame
+		// limit fails instead of building a frame the client's ReadFrame
+		// must reject (which would tear down the whole connection).
+		budget := s.srv.cfg.MaxFrame - 256 // frame header plus slack
 		b := wire.NewBuilder(4096)
 		b.Uint32(0) // patched with the count below
 		var count uint32
+		var truncated bool
 		err = tbl.Scan(s.w, func(rid core.RID, tuple []byte) bool {
+			if len(b.Bytes())+14+len(tuple) > budget {
+				truncated = true
+				return false
+			}
 			b.RID(netRID(rid)).Blob(tuple)
 			count++
 			return limit == 0 || count < limit
 		})
 		if err != nil {
 			return fail(err)
+		}
+		if truncated {
+			return wire.StatusBadRequest, errPayload(fmt.Sprintf(
+				"scan response would exceed the %d-byte frame limit; retry with a smaller limit",
+				s.srv.cfg.MaxFrame))
 		}
 		payload := b.Bytes()
 		payload[0] = byte(count >> 24)

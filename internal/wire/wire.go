@@ -22,6 +22,8 @@
 //	             off u32, val bytes               → —
 //	DELETE       txid u64, table str, rid         → —
 //	SCAN         table str, limit u32             → count u32, count×(rid, data bytes)
+//	             (responses are size-capped at the server's MaxFrame; a
+//	             scan that would exceed it fails BAD_REQUEST)
 //	STATS        —                                → JSON bytes (server stats document)
 //	PING         —                                → —
 //
@@ -297,7 +299,10 @@ func (r *Reader) take(n int) []byte {
 	if r.err != nil {
 		return nil
 	}
-	if r.off+n > len(r.buf) {
+	// n < 0 guards 32-bit platforms, where a peer-controlled u32 length
+	// >= 2^31 wraps negative through int() and would slip past the
+	// bounds check into a panicking slice expression.
+	if n < 0 || r.off+n > len(r.buf) {
 		r.err = fmt.Errorf("%w: truncated payload (need %d past offset %d of %d)",
 			ErrBadRequest, n, r.off, len(r.buf))
 		return nil

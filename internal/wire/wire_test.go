@@ -132,3 +132,17 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 }
 
 var _ io.Writer = (*countingWriter)(nil)
+
+// TestReaderHugeLength: a peer-controlled blob length near 2^32 must
+// fail the bounds check (on 32-bit platforms it wraps negative through
+// int()), not panic in the slice expression.
+func TestReaderHugeLength(t *testing.T) {
+	p := NewBuilder(8).Uint32(0xFFFF_FFF0).Bytes() // length field only, no body
+	r := NewReader(p)
+	if b := r.Blob(); b != nil {
+		t.Fatalf("Blob = %v, want nil", b)
+	}
+	if err := r.Err(); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Err = %v, want ErrBadRequest", err)
+	}
+}

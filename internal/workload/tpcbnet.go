@@ -84,11 +84,29 @@ func (n *NetTPCB) ridMap(c *client.Conn, table string, sch *engine.Schema) ([]wi
 	return rids, nil
 }
 
-// Aborted reports whether a RunOne error is a clean concurrency abort
-// (the server rolled the transaction back; retrying is safe).
+// Aborted reports whether a RunOne error left no trace of the
+// transaction server-side, so retrying is safe. LockConflict and
+// TxPoisoned mean the server aborted it; Busy means an admission
+// rejection hit BEGIN, so it never opened (the server exempts ops on
+// open transactions from admission, and RunOne rolls back explicitly
+// whenever COMMIT did not resolve the transaction).
 func Aborted(err error) bool {
 	return wire.IsTransient(err) ||
 		errors.Is(err, wire.ErrLockConflict) || errors.Is(err, wire.ErrTxPoisoned)
+}
+
+// commitResolved reports whether a COMMIT error still resolved the
+// transaction server-side. Any status response means the server
+// executed COMMIT (committing or aborting, and closing the handle) —
+// except Busy, an admission rejection that skipped the op entirely. A
+// non-status error (timeout, connection loss) leaves the outcome
+// unknown.
+func commitResolved(err error) bool {
+	if err == nil {
+		return true
+	}
+	var se *wire.StatusError
+	return errors.As(err, &se) && !errors.Is(err, wire.ErrBusy)
 }
 
 // RunOne executes one Account_Update transaction: three pipelined
@@ -144,11 +162,23 @@ func (n *NetTPCB) RunOne(c *client.Conn, rng *rand.Rand) error {
 		c.InsertAsync(tx, "tpcb_history", h),
 		c.CommitAsync(tx),
 	}
-	var firstErr error
-	for _, p := range pend {
-		if _, err := p.Wait(); err != nil && firstErr == nil {
+	var firstErr, commitErr error
+	for i, p := range pend {
+		_, err := p.Wait()
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
+		if i == len(pend)-1 {
+			commitErr = err
+		}
+	}
+	if firstErr != nil && !commitResolved(commitErr) {
+		// COMMIT never executed (busy rejection, timeout, lost frame):
+		// the transaction may still be open server-side, holding no-wait
+		// tuple locks that would abort every retry until the connection
+		// closes. Roll it back explicitly; TxClosed here just means the
+		// server resolved it after all.
+		_ = c.Abort(tx)
 	}
 	return firstErr
 }
