@@ -2,7 +2,7 @@
 # lands. `make check` is what CI (and ROADMAP.md) means by tier-1.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-prev bench-all fmt fmt-check
+.PHONY: check vet build test race bench bench-server bench-prev bench-all fmt fmt-check
 
 check: fmt-check vet build race
 
@@ -26,21 +26,28 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Perf evidence for the current PR: the network service benchmark —
-# end-to-end TPC-B over the wire protocol across a connections ×
-# pipelining-depth grid, fixed iteration count (-benchtime 2000x) so
-# every count measures the same steady-state regime, 5 counts recorded
-# as JSON (tx/s plus client-observed p50/p99 in ns). The historical
-# micro/macro benches from earlier PRs remain runnable via bench-prev
-# (their evidence lives in BENCH_PR2..PR4.json).
-BENCH_OUT ?= BENCH_PR5.json
+# Perf evidence for the current PR: the storage-scheme comparison
+# matrix — the same TPC-B and TATP work run under plain out-of-place
+# writes (oop), In-Place Appends (ipa) and Page-Differential Logging
+# (pdl), recording tx/s, flash bytes programmed per committed
+# transaction and GC page migrations per transaction as JSON. The runs
+# are fully deterministic (simulated time, fixed seeds), so one pass is
+# the measurement.
+BENCH_OUT ?= BENCH_PR6.json
 bench:
+	$(GO) run ./cmd/ipabench -exp schemes -out $(BENCH_OUT)
+
+# The network service benchmark from the previous PR (evidence in
+# BENCH_PR5.json): end-to-end TPC-B over the wire protocol across a
+# connections × pipelining-depth grid, 5 counts recorded as JSON.
+SERVER_BENCH_OUT ?= BENCH_PR5.json
+bench-server:
 	rm -f /tmp/bench_raw.txt
 	for i in 1 2 3 4 5; do \
 		$(GO) test -run xxx -bench 'BenchmarkServerTPCB' -benchtime 2000x \
 			-benchmem ./internal/server/ >> /tmp/bench_raw.txt || exit 1; done
 	cat /tmp/bench_raw.txt
-	$(GO) run ./cmd/benchjson < /tmp/bench_raw.txt > $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson < /tmp/bench_raw.txt > $(SERVER_BENCH_OUT)
 	rm -f /tmp/bench_raw.txt
 
 bench-prev:

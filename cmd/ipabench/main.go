@@ -28,6 +28,7 @@ var ids = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6",
 	"table7", "table8", "table9", "table10", "table11",
 	"fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "longevity",
+	"schemes",
 }
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	conns := flag.Int("conns", 8, "client connections for -net")
 	txPerConn := flag.Int("tx", 500, "transactions per connection for -net")
 	seed := flag.Int64("seed", 42, "rng seed for -net")
+	out := flag.String("out", "", "also write the experiment's JSON result to this file (schemes only)")
 	flag.Parse()
 
 	if *netAddr != "" {
@@ -65,6 +67,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ipabench: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+	if *out != "" {
+		if *exp != "schemes" {
+			fmt.Fprintln(os.Stderr, "ipabench: -out is only supported with -exp schemes")
+			os.Exit(2)
+		}
+		rows, err := experiments.RunSchemes(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipabench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := experiments.SchemesJSON(p, rows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ipabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.SchemesTable(rows).Render())
+		fmt.Printf("wrote %s\n", *out)
 		return
 	}
 	t, err := experiments.ByID(*exp, p)

@@ -77,16 +77,29 @@ func run(bench string, tx, maxN, pageSize int) error {
 	if _, err := workload.Run(wl, []*sim.Worker{w}, tx, 1); err != nil {
 		return err
 	}
-	prof := advisor.FromLog(db.Log())
+	prof := db.WALProfile()
 	fmt.Printf("profile: %d per-page update samples from the DB log\n\n", prof.Len())
 	for _, goal := range []advisor.Goal{advisor.Performance, advisor.Longevity, advisor.Space} {
-		rec, err := advisor.Recommend(prof, goal, maxN, pageSize)
+		rec, err := advisor.RecommendScheme(prof, advisor.Options{Goal: goal, MaxN: maxN, PageSize: pageSize})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-12s → %v  V=%d  covers %.0f%% of updates per record, space %.2f%%\n",
 			goal, rec.Scheme, rec.Scheme.V, 100*rec.CoveredFraction, 100*rec.SpaceOverhead)
 		fmt.Printf("             %s\n", rec.Rationale)
+	}
+
+	// Per-table storage-scheme advice (ipa vs pdl vs oop).
+	decisions, err := db.AdviseStorage(w, advisor.Options{Goal: advisor.Performance, MaxN: maxN, PageSize: pageSize}, false)
+	if err != nil {
+		return err
+	}
+	if len(decisions) > 0 {
+		fmt.Printf("\nstorage advice (per table, from %s):\n", wl.Name())
+		for _, d := range decisions {
+			fmt.Printf("  %-12s %-6v (p50 %4dB, p90 %4dB, %d samples) — %s\n",
+				d.Table, d.Advice.Storage, d.Advice.P50, d.Advice.P90, d.Samples, d.Advice.Rationale)
+		}
 	}
 	return nil
 }

@@ -140,15 +140,27 @@ func main() {
 	}
 
 	// The advisor, fed from the write-ahead log (Sec. 8.4).
-	prof := advisor.FromLog(db.Log())
+	prof := db.WALProfile()
 	fmt.Printf("\nIPA advisor (from %d log-profiled update samples):\n", prof.Len())
 	for _, goal := range []advisor.Goal{advisor.Performance, advisor.Longevity, advisor.Space} {
-		rec, err := advisor.Recommend(prof, goal, 3, 4096)
+		rec, err := advisor.RecommendScheme(prof, advisor.Options{Goal: goal, MaxN: 3, PageSize: 4096})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-12s → %-7v covers %3.0f%% per record, %.2f%% space\n",
 			goal, rec.Scheme, 100*rec.CoveredFraction, 100*rec.SpaceOverhead)
+	}
+
+	// Per-table storage advice: which write-reduction scheme each table's
+	// own update-size CDF warrants (ipa / pdl / oop).
+	decisions, err := db.AdviseStorage(w, advisor.Options{Goal: advisor.Performance, MaxN: 3, PageSize: 4096}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-table storage advice:")
+	for _, d := range decisions {
+		fmt.Printf("  %-10s in %-7s → %-4v (p90 %4dB over %d samples)\n",
+			d.Table, d.Region, d.Advice.Storage, d.Advice.P90, d.Samples)
 	}
 }
 

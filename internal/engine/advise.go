@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"ipa/internal/advisor"
+	"ipa/internal/core"
+	"ipa/internal/noftl"
+	"ipa/internal/sim"
+)
+
+// This file is the engine side of the live scheme advisor (paper Sec.
+// 8.4 turned into a control loop): the WAL is profiled into per-table
+// update-size CDFs, each table gets a storage-scheme recommendation,
+// and — opt-in — the recommendation is applied to the table's region
+// through PageStore.SetStorage.
+
+// WALProfile builds the advisor's update-size profile from the
+// database's write-ahead log. This replaces reaching through the
+// removed DB.Log accessor with advisor.FromLog.
+func (db *DB) WALProfile() *advisor.Profile {
+	return advisor.FromLog(db.log)
+}
+
+// WALTableProfiles builds one update-size profile per table from the
+// write-ahead log. Pages not owned by any table (catalog, indexes) are
+// grouped under the empty name.
+func (db *DB) WALTableProfiles() map[string]*advisor.Profile {
+	owner := make(map[core.PageID]string)
+	db.catMu.Lock()
+	tables := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	db.catMu.Unlock()
+	for _, t := range tables {
+		t.mu.Lock()
+		for _, id := range t.pages {
+			owner[id] = t.name
+		}
+		t.mu.Unlock()
+	}
+	return advisor.FromLogByTable(db.log, func(id core.PageID) (string, bool) {
+		name, ok := owner[id]
+		return name, ok
+	})
+}
+
+// StorageDecision is one table's advice from AdviseStorage, plus
+// whether it was auto-applied.
+type StorageDecision struct {
+	Table   string
+	Region  string
+	Samples int
+	Advice  advisor.StorageAdvice
+	// Applied is set when auto-apply switched the table's region to the
+	// recommended scheme (or it already ran that scheme); false when
+	// apply was off, the region cannot host the scheme, or another
+	// table's advice won the region.
+	Applied bool
+	// Note carries the apply outcome ("already ipa", an incompatibility
+	// reason, ...).
+	Note string
+}
+
+// AdviseStorage profiles the WAL per table and recommends a storage
+// scheme for each (the paper's Table 1 comparison as a live decision).
+// With apply set, each region is switched to the scheme recommended for
+// its most-sampled table — the opt-in auto-apply hook; regions whose
+// layout cannot host the recommendation keep their scheme, with the
+// reason in Note. Tables with no WAL samples are skipped.
+func (db *DB) AdviseStorage(w *sim.Worker, opts advisor.Options, apply bool) ([]StorageDecision, error) {
+	if opts.PageSize <= 0 {
+		opts.PageSize = db.opts.PageSize
+	}
+	profs := db.WALTableProfiles()
+	db.catMu.Lock()
+	type tbl struct {
+		name   string
+		region string
+	}
+	tbls := make([]tbl, 0, len(db.tables))
+	for name, t := range db.tables {
+		tbls = append(tbls, tbl{name: name, region: t.st.Region().Name()})
+	}
+	db.catMu.Unlock()
+	sort.Slice(tbls, func(i, j int) bool { return tbls[i].name < tbls[j].name })
+
+	decisions := make([]StorageDecision, 0, len(tbls))
+	for _, t := range tbls {
+		p := profs[t.name]
+		if p == nil || p.Len() == 0 {
+			continue
+		}
+		adv, err := advisor.RecommendStorage(p, opts)
+		if err != nil {
+			return nil, fmt.Errorf("engine: advise table %q: %w", t.name, err)
+		}
+		decisions = append(decisions, StorageDecision{
+			Table: t.name, Region: t.region, Samples: p.Len(), Advice: adv,
+		})
+	}
+	if !apply {
+		return decisions, nil
+	}
+	// One scheme per region: the most-sampled table's advice wins.
+	winner := make(map[string]int) // region → index into decisions
+	for i, d := range decisions {
+		if j, ok := winner[d.Region]; !ok || d.Samples > decisions[j].Samples {
+			winner[d.Region] = i
+		}
+	}
+	for region, i := range winner {
+		d := &decisions[i]
+		if err := db.SetRegionStorage(w, region, d.Advice.Storage); err != nil {
+			d.Note = err.Error()
+			continue
+		}
+		d.Applied = true
+		d.Note = fmt.Sprintf("region %q now %v", region, d.Advice.Storage)
+	}
+	return decisions, nil
+}
+
+// SetRegionStorage switches the named region's storage scheme (see
+// PageStore.SetStorage for the layout constraints).
+func (db *DB) SetRegionStorage(w *sim.Worker, region string, kind noftl.Storage) error {
+	st := db.Store(region)
+	if st == nil {
+		return fmt.Errorf("engine: region %q not attached", region)
+	}
+	return st.SetStorage(w, kind)
+}

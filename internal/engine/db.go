@@ -363,12 +363,6 @@ func (db *DB) Close() error {
 	return db.closeErr
 }
 
-// Log exposes the write-ahead log.
-//
-// Deprecated: for tools and tests only (trace advisors, white-box
-// assertions). Production code should consume DB.Stats().
-func (db *DB) Log() *wal.Log { return db.log }
-
 // Pool exposes the buffer pool.
 //
 // Deprecated: for tools and tests only. Production code should consume

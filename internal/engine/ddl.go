@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -36,10 +37,21 @@ func (db *DB) Exec(stmt string) error {
 	}
 	switch kind {
 	case "REGION":
+		if err := checkOptionKeys("REGION", name, opts,
+			"IPA_MODE", "SCHEME", "STORAGE", "MAX_CHIPS", "BLOCKS_PER_CHIP",
+			"MAX_SIZE", "OVERPROVISION", "GC", "GC_POLICY", "GC_VICTIM"); err != nil {
+			return err
+		}
 		return db.execCreateRegion(name, opts)
 	case "TABLESPACE":
+		if err := checkOptionKeys("TABLESPACE", name, opts, "REGION"); err != nil {
+			return err
+		}
 		return db.execCreateTablespace(name, opts)
 	case "TABLE":
+		if err := checkOptionKeys("TABLE", name, opts, "TABLESPACE", "REGION"); err != nil {
+			return err
+		}
 		region, err := db.resolveTablespace(opts)
 		if err != nil {
 			return err
@@ -47,6 +59,9 @@ func (db *DB) Exec(stmt string) error {
 		_, err = db.CreateTable(name, region)
 		return err
 	case "INDEX":
+		if err := checkOptionKeys("INDEX", name, opts, "TABLESPACE", "REGION"); err != nil {
+			return err
+		}
 		region, err := db.resolveTablespace(opts)
 		if err != nil {
 			return err
@@ -56,6 +71,31 @@ func (db *DB) Exec(stmt string) error {
 	default:
 		return fmt.Errorf("engine: unsupported CREATE %s", kind)
 	}
+}
+
+// checkOptionKeys rejects unknown option keys instead of silently
+// ignoring them (a typoed STORAGE=... must not quietly fall back to the
+// default scheme). The first unknown key in sorted order is reported,
+// so the error is deterministic.
+func checkOptionKeys(kind, name string, opts map[string]string, allowed ...string) error {
+	var unknown []string
+	for k := range opts {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	return fmt.Errorf("engine: unknown option %s in CREATE %s %s", unknown[0], kind, name)
 }
 
 // parseOptions extracts KEY=VALUE pairs from "(... , ...)".
@@ -88,18 +128,11 @@ func (db *DB) execCreateRegion(name string, opts map[string]string) error {
 	geom := db.dev.Geometry()
 
 	if v, ok := opts["IPA_MODE"]; ok {
-		switch strings.ToLower(v) {
-		case "none", "off":
-			rc.Mode = noftl.ModeNone
-		case "slc":
-			rc.Mode = noftl.ModeSLC
-		case "pslc":
-			rc.Mode = noftl.ModePSLC
-		case "odd-mlc", "oddmlc", "odd_mlc":
-			rc.Mode = noftl.ModeOddMLC
-		default:
-			return fmt.Errorf("engine: unknown IPA_MODE %q", v)
+		m, err := parseIPAMode(v)
+		if err != nil {
+			return err
 		}
+		rc.Mode = m
 	}
 	if v, ok := opts["SCHEME"]; ok {
 		s, err := parseScheme(v)
@@ -107,6 +140,13 @@ func (db *DB) execCreateRegion(name string, opts map[string]string) error {
 			return err
 		}
 		rc.Scheme = s
+	}
+	if v, ok := opts["STORAGE"]; ok {
+		st, err := parseStorage(v)
+		if err != nil {
+			return err
+		}
+		rc.Storage = st
 	}
 	chips := geom.Chips
 	if v, ok := opts["MAX_CHIPS"]; ok {
@@ -152,21 +192,83 @@ func (db *DB) execCreateRegion(name string, opts map[string]string) error {
 		}
 		rc.OverProvision = pct / 100
 	}
-	if v, ok := opts["GC"]; ok {
-		switch strings.ToLower(v) {
-		case "foreground", "inline":
-			rc.GCPolicy = noftl.GCForeground
-		case "background":
-			rc.GCPolicy = noftl.GCBackground
-		default:
-			return fmt.Errorf("engine: unknown GC %q (want FOREGROUND or BACKGROUND)", v)
+	for _, key := range []string{"GC", "GC_POLICY"} {
+		if v, ok := opts[key]; ok {
+			p, err := parseGCPolicy(key, v)
+			if err != nil {
+				return err
+			}
+			rc.GCPolicy = p
 		}
+	}
+	if v, ok := opts["GC_VICTIM"]; ok {
+		gv, err := parseGCVictim(v)
+		if err != nil {
+			return err
+		}
+		rc.GCVictim = gv
 	}
 	if _, err := db.dev.CreateRegion(rc); err != nil {
 		return err
 	}
 	_, err := db.AttachRegion(name)
 	return err
+}
+
+// parseIPAMode reads an IPA_MODE value.
+func parseIPAMode(v string) (noftl.IPAMode, error) {
+	switch strings.ToLower(v) {
+	case "none", "off":
+		return noftl.ModeNone, nil
+	case "slc":
+		return noftl.ModeSLC, nil
+	case "pslc":
+		return noftl.ModePSLC, nil
+	case "odd-mlc", "oddmlc", "odd_mlc":
+		return noftl.ModeOddMLC, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown IPA_MODE %q (want NONE, SLC, PSLC or ODD-MLC)", v)
+	}
+}
+
+// parseStorage reads a STORAGE value selecting the region's
+// write-reduction scheme.
+func parseStorage(v string) (noftl.Storage, error) {
+	switch strings.ToLower(v) {
+	case "ipa":
+		return noftl.StorageIPA, nil
+	case "pdl":
+		return noftl.StoragePDL, nil
+	case "oop":
+		return noftl.StorageOOP, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown STORAGE %q (want IPA, PDL or OOP)", v)
+	}
+}
+
+// parseGCPolicy reads a GC / GC_POLICY value; key is echoed into the
+// error so the message names the option the user actually wrote.
+func parseGCPolicy(key, v string) (noftl.GCPolicy, error) {
+	switch strings.ToLower(v) {
+	case "foreground", "inline":
+		return noftl.GCForeground, nil
+	case "background":
+		return noftl.GCBackground, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown %s %q (want FOREGROUND or BACKGROUND)", key, v)
+	}
+}
+
+// parseGCVictim reads a GC_VICTIM value selecting the victim policy.
+func parseGCVictim(v string) (noftl.GCVictim, error) {
+	switch strings.ToLower(v) {
+	case "greedy":
+		return noftl.GreedyVictim, nil
+	case "cost-benefit", "costbenefit", "cost_benefit":
+		return noftl.CostBenefitVictim, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown GC_VICTIM %q (want GREEDY or COST-BENEFIT)", v)
+	}
 }
 
 // parseScheme reads "NxM" or "NxMxV".

@@ -100,6 +100,62 @@ func TestDDLOptions(t *testing.T) {
 	}
 }
 
+// TestDDLStorageOptions covers the STORAGE / GC_POLICY / GC_VICTIM
+// surface added with the pluggable-scheme API.
+func TestDDLStorageOptions(t *testing.T) {
+	db := newDDLRig(t, flash.SLC)
+	if err := db.Exec("CREATE REGION rPDL (BLOCKS_PER_CHIP=16, STORAGE=pdl, GC_VICTIM=cost-benefit, GC_POLICY=foreground)"); err != nil {
+		t.Fatal(err)
+	}
+	r := db.Device().Region("rPDL")
+	if r.Storage() != noftl.StoragePDL {
+		t.Errorf("storage = %v, want pdl", r.Storage())
+	}
+	if r.GCVictim() != noftl.CostBenefitVictim {
+		t.Errorf("gc victim = %v, want cost-benefit", r.GCVictim())
+	}
+	if st := db.Store("rPDL"); st.Storage() != noftl.StoragePDL {
+		t.Errorf("store storage = %v, want pdl", st.Storage())
+	}
+	if err := db.Exec("CREATE REGION rOOP (BLOCKS_PER_CHIP=8, STORAGE=oop)"); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Store("rOOP"); st.Storage() != noftl.StorageOOP {
+		t.Errorf("store storage = %v, want oop", st.Storage())
+	}
+	// Explicit STORAGE=ipa with an IPA layout is the default path.
+	if err := db.Exec("CREATE REGION rIPA (BLOCKS_PER_CHIP=8, STORAGE=ipa, IPA_MODE=slc, SCHEME=2x4)"); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Store("rIPA"); st.Storage() != noftl.StorageIPA {
+		t.Errorf("store storage = %v, want ipa", st.Storage())
+	}
+	// A PDL table takes writes end to end.
+	if err := db.Exec("CREATE TABLE tp (REGION=rPDL)"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Table("tp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := mustBegin(db, nil)
+	rid, err := tbl.Insert(tx, make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	db.FlushAll(nil)
+	tx2 := mustBegin(db, nil)
+	if err := tbl.UpdateField(tx2, rid, 0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+	db.FlushAll(nil)
+	if got := db.Store("rPDL").Stats().Scheme.PDL.Appends; got != 1 {
+		t.Errorf("pdl appends = %d, want 1", got)
+	}
+}
+
 func TestDDLErrors(t *testing.T) {
 	db := newDDLRig(t, flash.SLC)
 	bad := []string{
@@ -119,10 +175,38 @@ func TestDDLErrors(t *testing.T) {
 		"CREATE TABLE t ()",
 		"CREATE TABLE t (TABLESPACE=missing)",
 		"CREATE REGION r (BLOCKS_PER_CHIP=8, IPA_MODE=pSLC)", // pSLC on SLC device
+		"CREATE REGION r (BLOCKS_PER_CHIP=8, STORAGE=log-structured)",
+		"CREATE REGION r (BLOCKS_PER_CHIP=8, GC_POLICY=lazy)",
+		"CREATE REGION r (BLOCKS_PER_CHIP=8, GC_VICTIM=oldest)",
+		"CREATE REGION r (BLOCKS_PER_CHIP=8, STROAGE=pdl)", // typo must not be ignored
+		"CREATE TABLESPACE ts (REGION=rOK, COMPRESSION=on)",
+		"CREATE TABLE t (REGION=rOK, PARTITIONS=4)",
+		// PDL and OOP regions write raw page images; an IPA delta layout
+		// or mode would be re-applied over merged bases.
+		"CREATE REGION r (BLOCKS_PER_CHIP=8, STORAGE=pdl, SCHEME=2x4)",
+		"CREATE REGION r (BLOCKS_PER_CHIP=8, STORAGE=pdl, IPA_MODE=slc)",
+		"CREATE REGION r (BLOCKS_PER_CHIP=8, STORAGE=oop, SCHEME=2x4)",
 	}
 	for _, s := range bad {
 		if err := db.Exec(s); err == nil {
 			t.Errorf("accepted %q", s)
+		}
+	}
+	// Every engine-issued DDL error carries the "engine:" prefix (device
+	// errors like pSLC-on-SLC come from noftl and are exempt).
+	wantPrefix := []struct{ stmt, frag string }{
+		{"CREATE REGION r (BLOCKS_PER_CHIP=8, STORAGE=log-structured)", `unknown STORAGE "log-structured"`},
+		{"CREATE REGION r (BLOCKS_PER_CHIP=8, GC_VICTIM=oldest)", `unknown GC_VICTIM "oldest"`},
+		{"CREATE REGION r (BLOCKS_PER_CHIP=8, GC_POLICY=lazy)", `unknown GC_POLICY "lazy"`},
+		{"CREATE REGION r (BLOCKS_PER_CHIP=8, GC=lazy)", `unknown GC "lazy"`},
+		{"CREATE REGION r (BLOCKS_PER_CHIP=8, STROAGE=pdl)", "unknown option STROAGE in CREATE REGION r"},
+		{"CREATE REGION r (BLOCKS_PER_CHIP=8, ZZZ=1, AAA=2)", "unknown option AAA in CREATE REGION r"},
+		{"CREATE INDEX i (REGION=rOK, UNIQUE=yes)", "unknown option UNIQUE in CREATE INDEX i"},
+	}
+	for _, c := range wantPrefix {
+		err := db.Exec(c.stmt)
+		if err == nil || !strings.HasPrefix(err.Error(), "engine: ") || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error = %v, want engine: ...%s...", c.stmt, err, c.frag)
 		}
 	}
 	// Duplicate tablespace.

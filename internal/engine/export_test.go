@@ -1,0 +1,8 @@
+package engine
+
+import "ipa/internal/wal"
+
+// WAL exposes the write-ahead log to white-box tests. The public engine
+// surface is DB/Tx/Options/Stats; tools that used to reach through the
+// deprecated DB.Log accessor consume DB.WALProfile instead.
+func (db *DB) WAL() *wal.Log { return db.log }

@@ -173,12 +173,12 @@ func TestCheckpointTruncatesLog(t *testing.T) {
 		tx.Commit()
 	}
 	r.db.FlushAll(nil)
-	before := r.db.Log().UsedBytes()
+	before := r.db.WAL().UsedBytes()
 	if err := r.db.Checkpoint(nil); err != nil {
 		t.Fatal(err)
 	}
-	if r.db.Log().UsedBytes() >= before {
-		t.Errorf("checkpoint did not reclaim log space: %d → %d", before, r.db.Log().UsedBytes())
+	if r.db.WAL().UsedBytes() >= before {
+		t.Errorf("checkpoint did not reclaim log space: %d → %d", before, r.db.WAL().UsedBytes())
 	}
 	if r.db.Checkpoints() != 1 {
 		t.Errorf("Checkpoints = %d", r.db.Checkpoints())
@@ -219,8 +219,8 @@ func TestLogSpaceReclamationForcesFlushes(t *testing.T) {
 	if r.db.Checkpoints() == 0 {
 		t.Error("no checkpoints taken under log pressure")
 	}
-	if r.db.Log().Usage() > 1.0 {
-		t.Errorf("log overflowed: usage %v", r.db.Log().Usage())
+	if r.db.WAL().Usage() > 1.0 {
+		t.Errorf("log overflowed: usage %v", r.db.WAL().Usage())
 	}
 }
 

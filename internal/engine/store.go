@@ -58,6 +58,10 @@ type StoreStats struct {
 
 	FetchLatency *metrics.Latency
 	FlushLatency *metrics.Latency
+
+	// Scheme identifies the store's write-reduction scheme and carries
+	// its scheme-specific counters.
+	Scheme SchemeStats
 }
 
 // storeCounters are the live counters behind StoreStats, updated with
@@ -88,6 +92,14 @@ type PageStore struct {
 	layout page.Layout
 	sect   ecc.Sections
 	useECC bool
+
+	// scheme is the pluggable write-reduction scheme (see scheme.go);
+	// schemeMu guards runtime switches (SetStorage). dl is the PDL
+	// differential log, created lazily for PDL stores and kept across
+	// scheme switches so a later switch back finds its state.
+	schemeMu sync.RWMutex
+	scheme   StorageScheme
+	dl       *noftl.DiffLog
 
 	ctr        storeCounters
 	netBytes   *metrics.Hist
@@ -154,6 +166,11 @@ func NewPageStore(region *noftl.Region, pageSize int, useECC bool) (*PageStore, 
 	if useECC && region.OOBSize() < s.sect.TotalCodeLen() {
 		return nil, fmt.Errorf("%w: need %d, have %d", ErrOOBTooSmall, s.sect.TotalCodeLen(), region.OOBSize())
 	}
+	scheme, err := s.newScheme(region.Storage())
+	if err != nil {
+		return nil, err
+	}
+	s.scheme = scheme
 	return s, nil
 }
 
@@ -177,6 +194,7 @@ func (s *PageStore) Stats() StoreStats {
 		GrossBytes:     s.grossBytes,
 		FetchLatency:   s.fetchLat,
 		FlushLatency:   s.flushLat,
+		Scheme:         s.currentScheme().Stats(),
 	}
 }
 
@@ -185,6 +203,39 @@ func (s *PageStore) Stats() StoreStats {
 // image plus the used-slot count (N_E).
 func (s *PageStore) Fetch(w *sim.Worker, id core.PageID, buf []byte) (int, error) {
 	start := now(w)
+	scheme := s.currentScheme()
+	var used, applied int
+	// Epoch loop: a PDL merge can fold a page's differential records into
+	// a rewritten base image between our base read and Materialize — the
+	// stale base would then materialise to a pre-merge image. The scheme
+	// bumps its epoch per merge; an unchanged epoch across the whole
+	// read+materialise proves the composition was consistent. IPA and OOP
+	// have a constant epoch, so the loop runs exactly once there.
+	for {
+		e0 := scheme.Epoch()
+		var err error
+		if used, applied, err = s.fetchOnce(w, id, buf, scheme); err != nil {
+			return 0, err
+		}
+		if scheme.Epoch() == e0 {
+			break
+		}
+	}
+	s.ctr.fetches.Add(1)
+	if sink := s.traceSink(); sink != nil {
+		sink.RecordFetch(id)
+	}
+	if applied > 0 {
+		s.ctr.deltaApply.Add(1)
+	}
+	s.fetchLat.Add(elapsed(w, start))
+	return used, nil
+}
+
+// fetchOnce performs one read+reconstruct+materialise attempt. It
+// returns the used delta-slot count and how many differential bytes or
+// records were applied on top of the raw image.
+func (s *PageStore) fetchOnce(w *sim.Worker, id core.PageID, buf []byte, scheme StorageScheme) (used, applied int, err error) {
 	// The physical image lands directly in the caller's frame buffer and
 	// is reconstructed there in place — no intermediate copy. The OOB area
 	// is only needed for ECC verification, from a pooled scratch buffer.
@@ -198,30 +249,26 @@ func (s *PageStore) Fetch(w *sim.Worker, id core.PageID, buf []byte) (int, error
 		if oobp != nil {
 			s.oobPool.Put(oobp)
 		}
-		return 0, err
+		return 0, 0, err
 	}
-	used := page.UsedDeltaSlots(buf, s.layout)
+	used = page.UsedDeltaSlots(buf, s.layout)
 	if s.useECC {
 		n, err := s.correctSections(buf, oob, used)
 		s.oobPool.Put(oobp)
 		if err != nil {
-			return 0, fmt.Errorf("%w: page %d: %v", ErrECC, id, err)
+			return 0, 0, fmt.Errorf("%w: page %d: %v", ErrECC, id, err)
 		}
 		s.ctr.eccCorrected.Add(uint64(n))
 	}
-	applied, err := page.Reconstruct(buf, s.layout)
+	applied, err = page.Reconstruct(buf, s.layout)
 	if err != nil {
-		return 0, fmt.Errorf("engine: reconstruct page %d: %w", id, err)
+		return 0, 0, fmt.Errorf("engine: reconstruct page %d: %w", id, err)
 	}
-	s.ctr.fetches.Add(1)
-	if sink := s.traceSink(); sink != nil {
-		sink.RecordFetch(id)
+	m, err := scheme.Materialize(w, id, buf)
+	if err != nil {
+		return 0, 0, fmt.Errorf("engine: materialize page %d: %w", id, err)
 	}
-	if applied > 0 {
-		s.ctr.deltaApply.Add(1)
-	}
-	s.fetchLat.Add(elapsed(w, start))
-	return used, nil
+	return used, applied + m, nil
 }
 
 // correctSections verifies ECC_initial over the body and ECC_delta_i over
@@ -305,25 +352,8 @@ func (s *PageStore) flush(w *sim.Worker, fr *buffer.Frame) (FlushKind, error) {
 	if sink := s.traceSink(); sink != nil {
 		sink.RecordEvict(fr.ID, cs.BodyBytes(), cs.BodyBytes()+cs.MetaBytes(), false)
 	}
-
-	if s.region.CanAppend(fr.ID) {
-		recs, perr := s.layout.Scheme.Plan(*cs, fr.UsedSlots)
-		if perr == nil && len(recs) > 0 {
-			if err := s.writeDelta(w, fr, recs); err == nil {
-				return FlushDelta, nil
-			} else if !errors.Is(err, noftl.ErrNotAppendable) {
-				return 0, err
-			}
-			// Not appendable after all (e.g. chip budget raced out):
-			// fall through to the out-of-place path.
-		} else if perr != nil && perr != core.ErrSchemeOverflow {
-			return 0, perr
-		}
-	}
-	if err := s.writeOutOfPlace(w, fr); err != nil {
-		return 0, err
-	}
-	return FlushOutOfPlace, nil
+	// The IPA-vs-PDL-vs-OOP decision itself is pluggable; see scheme.go.
+	return s.currentScheme().FlushUpdate(w, fr, cs)
 }
 
 // writeDelta encodes the planned records into contiguous delta slots and
@@ -407,7 +437,19 @@ func (s *PageStore) RecoverMapping(w *sim.Worker) (int, error) {
 	}
 	best := make(map[core.PageID]winner)
 	var scanErr error
+	pdlBlock := -1
 	err := s.region.ScanPhysical(w, func(pp noftl.PhysicalPage) bool {
+		// A PDL log block announces itself on its first page; its pages
+		// hold differential records, not database pages, and the scan
+		// visits a block's pages consecutively — skip the whole block.
+		// The DiffLog re-parses the records below.
+		if pp.Block == pdlBlock {
+			return true
+		}
+		if noftl.IsPDLPage(pp.Data) {
+			pdlBlock = pp.Block
+			return true
+		}
 		img := append([]byte(nil), pp.Data...)
 		if _, err := page.Reconstruct(img, s.layout); err != nil {
 			// Unreadable image: skip (a torn program would be caught by
@@ -440,15 +482,34 @@ func (s *PageStore) RecoverMapping(w *sim.Worker) (int, error) {
 	if err := s.region.Adopt(mapping); err != nil {
 		return 0, err
 	}
+	if s.dl != nil {
+		// Re-derive the differential log AFTER Adopt (it re-claims its
+		// blocks from the freshly rebuilt bookkeeping). A record survives
+		// iff its page is mapped and its LSN is newer than the adopted
+		// base image's — every older record is already folded into some
+		// later out-of-place write.
+		baseLSN := make(map[core.PageID]core.LSN, len(best))
+		for id, wn := range best {
+			baseLSN[id] = wn.lsn
+		}
+		if _, err := s.dl.Rebuild(w, baseLSN); err != nil {
+			return 0, err
+		}
+	}
 	return len(mapping), nil
 }
 
-// Free releases the physical copy of a page.
+// Free releases the physical copy of a page and any scheme-held state
+// (e.g. PDL differential records) referencing it.
 func (s *PageStore) Free(id core.PageID) error {
 	if !s.region.Contains(id) {
 		return nil
 	}
-	return s.region.Free(id)
+	if err := s.region.Free(id); err != nil {
+		return err
+	}
+	s.currentScheme().Invalidate(id)
+	return nil
 }
 
 func now(w *sim.Worker) sim.Time {

@@ -244,6 +244,7 @@ func All(p Params) (string, error) {
 		{"table10", Table10}, {"table11", Table11},
 		{"fig1", Fig1}, {"fig6", Fig6}, {"fig7", Fig7}, {"fig8", Fig8},
 		{"fig9", Fig9}, {"fig10", Fig10}, {"longevity", Longevity},
+		{"schemes", Schemes},
 	}
 	var b strings.Builder
 	for _, e := range exps {
@@ -296,6 +297,8 @@ func ByID(id string, p Params) (*Table, error) {
 		return Fig10(p)
 	case "longevity":
 		return Longevity(p)
+	case "schemes":
+		return Schemes(p)
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q", id)
 	}

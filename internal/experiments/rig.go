@@ -57,6 +57,12 @@ type Spec struct {
 	// collection; GCBackground is for interference studies only and makes
 	// runs schedule-dependent.
 	GCPolicy noftl.GCPolicy
+	// Storage selects the region's write-reduction scheme. The zero value
+	// (noftl.StorageIPA) is the paper's path; StoragePDL and StorageOOP
+	// force a plain layout (no delta area, IPA off).
+	Storage noftl.Storage
+	// GCVictim selects the GC victim policy (greedy by default).
+	GCVictim noftl.GCVictim
 }
 
 func (s Spec) withDefaults() Spec {
@@ -81,6 +87,13 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Seed == 0 {
 		s.Seed = 42
+	}
+	if s.Storage != noftl.StorageIPA {
+		// PDL and OOP regions write raw page images: no delta layout, IPA
+		// off (see noftl.RegionConfig.Validate).
+		s.Scheme = core.Scheme{}
+		s.Mode = noftl.ModeNone
+		return s
 	}
 	if s.Mode == noftl.ModeNone && !s.Scheme.Disabled() {
 		if s.Testbed == OpenSSD {
@@ -171,6 +184,11 @@ func Execute(s Spec) (*Out, error) {
 	if n := s.Scheme.N; n > maxApp {
 		maxApp = n
 	}
+	if s.Storage == noftl.StoragePDL && maxApp < 64 {
+		// PDL packs many small differential records per log page; the
+		// partial-program budget bounds records per page, not correctness.
+		maxApp = 64
+	}
 	arr, err := flash.New(flash.Config{
 		Geometry: g, Timing: timing, StrictProgramOrder: true,
 		MaxAppends: maxApp, Seed: s.Seed,
@@ -182,7 +200,7 @@ func Execute(s Spec) (*Out, error) {
 	if _, err := dev.CreateRegion(noftl.RegionConfig{
 		Name: "data", Mode: s.Mode, Scheme: s.Scheme,
 		BlocksPerChip: blocksPerChip, OverProvision: 0.10,
-		GCPolicy: s.GCPolicy,
+		GCPolicy: s.GCPolicy, Storage: s.Storage, GCVictim: s.GCVictim,
 	}); err != nil {
 		return nil, err
 	}

@@ -301,6 +301,10 @@ func (a *Array) Appends(p PPN) int {
 	return int(sh.appends[lp])
 }
 
+// MaxAppends returns the per-page ISPP re-program budget configured for
+// the array.
+func (a *Array) MaxAppends() int { return a.maxAppends }
+
 // IsErased reports whether the page is in the erased state.
 func (a *Array) IsErased(p PPN) bool {
 	sh, lp := a.shardOf(p)
@@ -469,6 +473,20 @@ func (a *Array) ProgramDelta(w *sim.Worker, p PPN, off int, delta []byte, oobOff
 		sh.mu.Unlock()
 		return 0, fmt.Errorf("%w: ppn %d at %d appends", ErrAppendLimit, p, n)
 	}
+	// A delta into a still-erased page is a legal initial partial program
+	// (the cells start all-1, so any pattern is a 1→0 transition): PDL log
+	// blocks are populated this way, one record batch at a time. The page
+	// joins the programmed population so IsErased/scan-based rebuild see
+	// it, and MLC program order is enforced exactly as for a full Program.
+	freshProgram := sh.state[lp] == pageErased
+	if freshProgram && a.cfg.StrictProgramOrder {
+		lb := lp / a.geom.PagesPerBlock
+		if int16(a.geom.PageInBlock(p)) <= sh.lastProg[lb] {
+			last := sh.lastProg[lb]
+			sh.mu.Unlock()
+			return 0, fmt.Errorf("%w: page %d after %d in block %d", ErrProgramOrder, a.geom.PageInBlock(p), last, a.geom.BlockOf(p))
+		}
+	}
 	base := lp * ps
 	page := sh.data[base : base+ps]
 	if i := chargeViolation(page[off:off+len(delta)], delta); i >= 0 {
@@ -483,6 +501,12 @@ func (a *Array) ProgramDelta(w *sim.Worker, p PPN, off int, delta []byte, oobOff
 			return 0, fmt.Errorf("%w: ppn %d oob offset %d", ErrBitIncrease, p, oobOff+i)
 		}
 		copy(spare[oobOff:], oobDelta)
+	}
+	if freshProgram {
+		if a.cfg.StrictProgramOrder {
+			sh.lastProg[lp/a.geom.PagesPerBlock] = int16(a.geom.PageInBlock(p))
+		}
+		sh.state[lp] = pageProgrammed
 	}
 	copy(page[off:], delta)
 	sh.appends[lp]++

@@ -194,6 +194,51 @@ func TestProgramDeltaAppendsToErasedRegion(t *testing.T) {
 	}
 }
 
+func TestProgramDeltaInitialPartialProgram(t *testing.T) {
+	a := newTestArray(t, SLC)
+	// A delta into a fully erased page is a legal initial partial program:
+	// the page leaves the erased population and MLC/strict program order
+	// advances exactly as for Program.
+	if _, err := a.ProgramDelta(nil, 2, 0, []byte{0x12, 0x34}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.IsErased(2) {
+		t.Error("partially programmed page still reported erased")
+	}
+	data, _, _, err := a.Read(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 0x12 || data[1] != 0x34 {
+		t.Errorf("delta not readable: %#x %#x", data[0], data[1])
+	}
+	for _, b := range data[2:] {
+		if b != 0xFF {
+			t.Fatal("rest of page disturbed")
+		}
+	}
+	if a.Appends(2) != 1 {
+		t.Errorf("Appends = %d", a.Appends(2))
+	}
+	// Strict program order: an initial partial program to an earlier page
+	// of the same block is now out of order...
+	if _, err := a.ProgramDelta(nil, 1, 0, []byte{0x01}, 0, nil); !errors.Is(err, ErrProgramOrder) {
+		t.Errorf("out-of-order initial delta: %v, want ErrProgramOrder", err)
+	}
+	// ...and so is a full program.
+	if _, err := a.Program(nil, 1, make([]byte, 256), nil); !errors.Is(err, ErrProgramOrder) {
+		t.Errorf("out-of-order program after delta: %v, want ErrProgramOrder", err)
+	}
+	// A later page is fine, and further appends to the partial page do not
+	// advance the order cursor again.
+	if _, err := a.ProgramDelta(nil, 2, 2, []byte{0x56}, 0, nil); err != nil {
+		t.Errorf("second append to partial page: %v", err)
+	}
+	if _, err := a.Program(nil, 3, make([]byte, 256), nil); err != nil {
+		t.Errorf("next page program: %v", err)
+	}
+}
+
 func TestProgramDeltaRejectsChargeDecrease(t *testing.T) {
 	a := newTestArray(t, SLC)
 	page := make([]byte, 256) // all zero: every cell fully charged

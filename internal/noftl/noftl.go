@@ -120,6 +120,14 @@ type RegionConfig struct {
 	Mode   IPAMode
 	Scheme core.Scheme
 
+	// Storage selects the write-reduction scheme (IPA delta appends, PDL
+	// log blocks, or plain out-of-place). Zero value StorageIPA keeps the
+	// original behaviour. See Validate for the layout constraints.
+	Storage Storage
+	// GCVictim selects the collector's victim policy; zero value is the
+	// deterministic greedy min-valid heap.
+	GCVictim GCVictim
+
 	// Chips the region spans (indices into the array). Empty = all chips.
 	Chips []int
 	// BlocksPerChip assigned to the region on each of its chips.
@@ -260,6 +268,11 @@ type blockMeta struct {
 	eraseSnap uint32 // erase count at free-pool push (heap key; see freeLess)
 	freeIdx   int    // position in the chip's free heap, -1 when absent
 	victIdx   int    // position in the chip's victim heap, -1 when absent
+
+	// stamp is the region tick at which the block last lost a valid page
+	// (its "age" origin for cost-benefit victim scoring). Only maintained
+	// under CostBenefitVictim so the greedy path stays cost-free.
+	stamp uint64
 }
 
 // chipState is one chip's shard of the region: write point, block
@@ -361,6 +374,7 @@ type Region struct {
 	maps    [mapShards]mapShard
 	mapped  atomic.Int64  // current mapping size (logical-capacity accounting)
 	rr      atomic.Uint64 // round-robin cursor for placing new pages
+	tick    atomic.Uint64 // invalidation clock for cost-benefit block ages
 	logical int           // logical page capacity
 
 	// Background-GC lifecycle (nil/unused under GCForeground).
@@ -421,7 +435,7 @@ func (d *Device) Close() {
 // GCBackground it also starts one collector goroutine per chip; call
 // Region.Close (or Device.Close) to stop them.
 func (d *Device) CreateRegion(rc RegionConfig) (*Region, error) {
-	if err := rc.Scheme.Validate(); err != nil {
+	if err := rc.Validate(); err != nil {
 		return nil, err
 	}
 	if (rc.Mode == ModePSLC || rc.Mode == ModeOddMLC) && d.geom.Cell != flash.MLC {
@@ -535,6 +549,12 @@ func (r *Region) Scheme() core.Scheme { return r.cfg.Scheme }
 
 // GCPolicy returns the region's garbage-collection policy.
 func (r *Region) GCPolicy() GCPolicy { return r.cfg.GCPolicy }
+
+// Storage returns the region's write-reduction scheme.
+func (r *Region) Storage() Storage { return r.cfg.Storage }
+
+// GCVictim returns the region's GC victim-selection policy.
+func (r *Region) GCVictim() GCVictim { return r.cfg.GCVictim }
 
 // LogicalCapacity is the number of logical pages the region can map.
 func (r *Region) LogicalCapacity() int { return r.logical }
@@ -769,6 +789,9 @@ func (r *Region) invalidateLocked(cs *chipState, ppn flash.PPN) {
 	if bm := r.blockIndex[r.dev.geom.BlockOf(ppn)]; bm != nil && bm.valid > 0 {
 		bm.valid--
 		cs.fixVictim(bm)
+		if r.cfg.GCVictim == CostBenefitVictim {
+			bm.stamp = r.tick.Add(1)
+		}
 	}
 	delete(cs.reverse, ppn)
 	cs.exhausted = false
@@ -907,6 +930,11 @@ func (r *Region) retireActiveLocked(cs *chipState) {
 	act.active = false
 	cs.active = nil
 	cs.addVictim(act)
+	if r.cfg.GCVictim == CostBenefitVictim {
+		// A freshly retired block starts its cost-benefit age now; without
+		// a stamp it would look infinitely old and be collected while hot.
+		act.stamp = r.tick.Add(1)
+	}
 }
 
 // allocLocked returns the next usable PPN on the chip. Under foreground

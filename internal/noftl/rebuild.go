@@ -25,9 +25,10 @@ import (
 
 // PhysicalPage is one programmed page surfaced by ScanPhysical.
 type PhysicalPage struct {
-	PPN  flash.PPN
-	Data []byte
-	OOB  []byte
+	PPN   flash.PPN
+	Block int // global block id (lets callers skip whole blocks, e.g. PDL logs)
+	Data  []byte
+	OOB   []byte
 }
 
 // ScanPhysical visits every programmed (non-erased) physical page of the
@@ -53,7 +54,7 @@ func (r *Region) ScanPhysical(w *sim.Worker, fn func(p PhysicalPage) bool) error
 			if _, err := arr.ReadInto(w, ppn, data, oob); err != nil {
 				return fmt.Errorf("noftl: scan ppn %d: %w", ppn, err)
 			}
-			if !fn(PhysicalPage{PPN: ppn, Data: data, OOB: oob}) {
+			if !fn(PhysicalPage{PPN: ppn, Block: b, Data: data, OOB: oob}) {
 				return nil
 			}
 		}
