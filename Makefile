@@ -2,7 +2,7 @@
 # lands. `make check` is what CI (and ROADMAP.md) means by tier-1.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-server bench-prev bench-all fmt fmt-check
+.PHONY: check vet build test race bench bench-index bench-schemes bench-server bench-prev bench-all fmt fmt-check
 
 check: fmt-check vet build race
 
@@ -26,16 +26,38 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Perf evidence for the current PR: the storage-scheme comparison
-# matrix — the same TPC-B and TATP work run under plain out-of-place
-# writes (oop), In-Place Appends (ipa) and Page-Differential Logging
-# (pdl), recording tx/s, flash bytes programmed per committed
-# transaction and GC page migrations per transaction as JSON. The runs
-# are fully deterministic (simulated time, fixed seeds), so one pass is
-# the measurement.
-BENCH_OUT ?= BENCH_PR6.json
+# Perf evidence for the current PR: the index-latching comparison —
+# the same bare-index operation stream (point lookups vs scattered
+# inserts over a warm pool) run under the coarse tree-wide latch and
+# optimistic lock coupling, across 1/4/16 workers and read95/mixed50
+# mixes, recording simulated ns/op plus OLC restart and latch-wait
+# counters as JSON. The runs are fully deterministic (simulated time,
+# fixed seeds, round-robin virtual workers), so one pass is the
+# measurement.
+BENCH_OUT ?= BENCH_PR7.json
 bench:
-	$(GO) run ./cmd/ipabench -exp schemes -out $(BENCH_OUT)
+	$(GO) run ./cmd/ipabench -exp index -out $(BENCH_OUT)
+
+# Wall-clock flavour of the same comparison plus the full-stack YCSB
+# context runs (tables, transactions, WAL, real terminal goroutines):
+# the Go benchmark harness emits sim ns/op, wallns/op, restarts/op and
+# latchwaits/op per (tree, mix, workers) cell as JSON.
+INDEX_BENCH_OUT ?= BENCH_INDEX.json
+bench-index:
+	rm -f /tmp/bench_index_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkIndexOps' -benchtime 20000x \
+		./internal/workload/ >> /tmp/bench_index_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkIndexYCSB' -benchtime 2000x \
+		./internal/workload/ >> /tmp/bench_index_raw.txt
+	cat /tmp/bench_index_raw.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_index_raw.txt > $(INDEX_BENCH_OUT)
+	rm -f /tmp/bench_index_raw.txt
+
+# The storage-scheme comparison from the previous PR (evidence in
+# BENCH_PR6.json): TPC-B and TATP under oop vs ipa vs pdl.
+SCHEMES_BENCH_OUT ?= BENCH_PR6.json
+bench-schemes:
+	$(GO) run ./cmd/ipabench -exp schemes -out $(SCHEMES_BENCH_OUT)
 
 # The network service benchmark from the previous PR (evidence in
 # BENCH_PR5.json): end-to-end TPC-B over the wire protocol across a

@@ -28,7 +28,7 @@ var ids = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6",
 	"table7", "table8", "table9", "table10", "table11",
 	"fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "longevity",
-	"schemes",
+	"schemes", "index",
 }
 
 func main() {
@@ -39,7 +39,7 @@ func main() {
 	conns := flag.Int("conns", 8, "client connections for -net")
 	txPerConn := flag.Int("tx", 500, "transactions per connection for -net")
 	seed := flag.Int64("seed", 42, "rng seed for -net")
-	out := flag.String("out", "", "also write the experiment's JSON result to this file (schemes only)")
+	out := flag.String("out", "", "also write the experiment's JSON result to this file (schemes and index only)")
 	flag.Parse()
 
 	if *netAddr != "" {
@@ -70,16 +70,26 @@ func main() {
 		return
 	}
 	if *out != "" {
-		if *exp != "schemes" {
-			fmt.Fprintln(os.Stderr, "ipabench: -out is only supported with -exp schemes")
+		var data []byte
+		var table *experiments.Table
+		var err error
+		switch *exp {
+		case "schemes":
+			var rows []experiments.SchemeRow
+			if rows, err = experiments.RunSchemes(p); err == nil {
+				table = experiments.SchemesTable(rows)
+				data, err = experiments.SchemesJSON(p, rows)
+			}
+		case "index":
+			var rows []experiments.IndexRow
+			if rows, err = experiments.RunIndexBench(p); err == nil {
+				table = experiments.IndexTable(rows)
+				data, err = experiments.IndexJSON(p, rows)
+			}
+		default:
+			fmt.Fprintln(os.Stderr, "ipabench: -out is only supported with -exp schemes or -exp index")
 			os.Exit(2)
 		}
-		rows, err := experiments.RunSchemes(p)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ipabench: %v\n", err)
-			os.Exit(1)
-		}
-		data, err := experiments.SchemesJSON(p, rows)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ipabench: %v\n", err)
 			os.Exit(1)
@@ -88,7 +98,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ipabench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Print(experiments.SchemesTable(rows).Render())
+		fmt.Print(table.Render())
 		fmt.Printf("wrote %s\n", *out)
 		return
 	}

@@ -87,6 +87,16 @@ type Frame struct {
 	// before latching; never latch while holding a shard mutex.
 	latch sync.RWMutex
 
+	// ver is the frame's optimistic-lock-coupling version word, stored
+	// beside the pin so the two hot fields share a frame, not a shard.
+	// The upper 48 bits hold a pool-wide binding epoch stamped whenever
+	// the frame is (re)bound to a page id, so a version read against one
+	// binding can never validate against another; the low 16 bits count
+	// in-place modifications, bumped by content mutators *before* they
+	// release their exclusive latch. Flushes leave ver alone: they copy
+	// the logical image out but do not change it.
+	ver atomic.Uint64
+
 	// home is the shard whose frame slice (and mutex) currently owns this
 	// frame. It only changes while the frame is free and unpinned, under
 	// the owning shard's mutex (see stealFrameLocked); holders of a pin
@@ -115,6 +125,28 @@ func (fr *Frame) RLatch() { fr.latch.RLock() }
 
 // RUnlatch releases a shared latch.
 func (fr *Frame) RUnlatch() { fr.latch.RUnlock() }
+
+// TryLatch attempts the exclusive content latch without blocking. OLC
+// writers use it to count latch waits before falling back to Latch.
+func (fr *Frame) TryLatch() bool { return fr.latch.TryLock() }
+
+// TryRLatch attempts the shared content latch without blocking.
+func (fr *Frame) TryRLatch() bool { return fr.latch.TryRLock() }
+
+// Version returns the frame's current OLC version word. Readers sample
+// it under a shared latch (or with the frame pinned) and re-check it
+// after moving on to decide whether what they read is still current.
+func (fr *Frame) Version() uint64 { return fr.ver.Load() }
+
+// BumpVersion marks the frame's contents as changed. Mutators call it
+// while still holding the exclusive latch, so a reader that validates
+// an old version is guaranteed to observe the bump.
+func (fr *Frame) BumpVersion() { fr.ver.Add(1) }
+
+// stampVersion installs a fresh binding epoch when the frame is bound
+// to a (new) page id, invalidating every version sampled against the
+// previous binding.
+func (fr *Frame) stampVersion(epoch uint64) { fr.ver.Store(epoch << 16) }
 
 // Config sizes the pool and its cleaning strategy.
 type Config struct {
@@ -245,6 +277,10 @@ type Pool struct {
 	// at, so cleaning pressure spreads round-robin across shards.
 	cleanGate sync.Mutex
 	cleanNext int
+
+	// verEpoch issues frame-binding epochs for the OLC version words
+	// (see Frame.ver).
+	verEpoch atomic.Uint64
 }
 
 // New creates a pool with cfg.Frames empty frames.
@@ -376,6 +412,7 @@ func (p *Pool) Get(w *sim.Worker, id core.PageID) (*Frame, error) {
 		fr.pin = 1
 		fr.ref = true
 		fr.New = false
+		fr.stampVersion(p.verEpoch.Add(1))
 		// Flushed must read nil while the load is in flight (it marks "no
 		// flushed image"), but its capacity is a full page — keep it for
 		// the post-load copy instead of allocating a fresh one per miss.
@@ -439,6 +476,7 @@ func (p *Pool) GetNew(w *sim.Worker, id core.PageID) (*Frame, error) {
 	fr.pin = 1
 	fr.ref = true
 	fr.New = true
+	fr.stampVersion(p.verEpoch.Add(1))
 	fr.Dirty = false
 	fr.Flushed = nil
 	fr.UsedSlots = 0

@@ -12,10 +12,10 @@ import (
 	"ipa/internal/sim"
 )
 
-// Index is a page-based B+tree mapping uint64 keys to RIDs. Index pages
-// live in a region and move through the same buffer pool and flush path
-// as heap pages, so index updates also benefit from In-Place Appends
-// ("frequently updated tables *or indices*", paper Sec. 1).
+// CoarseIndex is a page-based B+tree mapping uint64 keys to RIDs. Index
+// pages live in a region and move through the same buffer pool and flush
+// path as heap pages, so index updates also benefit from In-Place
+// Appends ("frequently updated tables *or indices*", paper Sec. 1).
 //
 // The index is a non-logged structure: it is rebuilt from its table
 // after restart recovery (a common recovery strategy for secondary
@@ -27,14 +27,17 @@ import (
 // the per-index latch is coarse but never blocks operations on other
 // indexes, tables, or regions. Tree pages are pinned during node access,
 // which keeps the flush paths (that latch only unpinned frames) off
-// them.
-type Index struct {
+// them. The coarse tree is the paper-fidelity default; OLCIndex is the
+// scalable alternative (see index.go and DESIGN.md "Index latching").
+type CoarseIndex struct {
 	db   *DB
 	st   *PageStore
 	name string
 
 	treeMu sync.RWMutex
 	root   core.PageID
+
+	stats indexCounters
 }
 
 // Node layout, written directly into the page body:
@@ -55,35 +58,21 @@ const (
 // ErrKeyExists is returned on duplicate insert.
 var ErrKeyExists = errors.New("engine: key already in index")
 
-// CreateIndex creates an empty B+tree placed in the named region.
-func (db *DB) CreateIndex(name, regionName string) (*Index, error) {
-	st, err := db.AttachRegion(regionName)
-	if err != nil {
-		return nil, err
-	}
-	db.stateMu.RLock()
-	defer db.stateMu.RUnlock()
-	ix := &Index{db: db, st: st, name: name}
-	fr, pg, err := db.newPage(nil, st, 0, page.FlagIndex|page.FlagLeaf)
-	if err != nil {
-		return nil, err
-	}
-	ix.root = pg.ID()
-	if err := db.pool.Unpin(nil, fr, true, db.log.Head()); err != nil {
-		return nil, err
-	}
-	return ix, nil
-}
-
 // Name returns the index name.
-func (ix *Index) Name() string { return ix.name }
+func (ix *CoarseIndex) Name() string { return ix.name }
 
-// Root returns the current root page id.
-func (ix *Index) Root() core.PageID {
+// Root returns the current root page id. Advisory: for tests and tools;
+// operations resolve the root themselves under the tree latch (the
+// Index interface deliberately omits Root, see index.go).
+func (ix *CoarseIndex) Root() core.PageID {
 	ix.treeMu.RLock()
 	defer ix.treeMu.RUnlock()
 	return ix.root
 }
+
+// Stats snapshots the operation counters. Restarts and LatchWaits are
+// always zero for the coarse tree.
+func (ix *CoarseIndex) Stats() IndexStats { return ix.stats.snapshot(IndexCoarse) }
 
 // --- node accessors (operate on raw frame data) -----------------------
 
@@ -94,19 +83,27 @@ type node struct {
 	cap  int // max entries
 }
 
-func (ix *Index) node(fr *buffer.Frame) (*node, error) {
-	pg, err := page.Attach(fr.Data, ix.st.layout)
+// attachNode decodes a frame as a tree node. Both tree kinds share it
+// (and the entire on-page node layout). The caller must hold the frame
+// pinned; under OLC it must additionally hold the frame latch, since
+// page.Attach reads header bytes.
+func attachNode(st *PageStore, fr *buffer.Frame) (*node, error) {
+	pg, err := page.Attach(fr.Data, st.layout)
 	if err != nil {
 		return nil, err
 	}
 	n := &node{fr: fr, pg: pg, leaf: pg.Flags()&page.FlagLeaf != 0}
-	body := ix.st.layout.DeltaAreaStart() - nodeBodyOff
+	body := st.layout.DeltaAreaStart() - nodeBodyOff
 	if n.leaf {
 		n.cap = body / leafEntrySize
 	} else {
 		n.cap = (body - 8) / intEntrySize
 	}
 	return n, nil
+}
+
+func (ix *CoarseIndex) node(fr *buffer.Frame) (*node, error) {
+	return attachNode(ix.st, fr)
 }
 
 func (n *node) count() int {
@@ -201,7 +198,8 @@ func (n *node) route(key uint64) core.PageID {
 // --- operations --------------------------------------------------------
 
 // Lookup returns the RID stored under key.
-func (ix *Index) Lookup(w *sim.Worker, key uint64) (core.RID, bool, error) {
+func (ix *CoarseIndex) Lookup(w *sim.Worker, key uint64) (core.RID, bool, error) {
+	ix.stats.lookups.Add(1)
 	db := ix.db
 	db.stateMu.RLock()
 	defer db.stateMu.RUnlock()
@@ -234,7 +232,8 @@ func (ix *Index) Lookup(w *sim.Worker, key uint64) (core.RID, bool, error) {
 }
 
 // Insert adds key → rid. Duplicate keys are rejected.
-func (ix *Index) Insert(w *sim.Worker, key uint64, rid core.RID) error {
+func (ix *CoarseIndex) Insert(w *sim.Worker, key uint64, rid core.RID) error {
+	ix.stats.inserts.Add(1)
 	db := ix.db
 	db.stateMu.RLock()
 	defer db.stateMu.RUnlock()
@@ -266,7 +265,7 @@ func (ix *Index) Insert(w *sim.Worker, key uint64, rid core.RID) error {
 
 // insertRec descends to the leaf; on split it returns the separator key
 // and the new right sibling's id.
-func (ix *Index) insertRec(w *sim.Worker, nodeID core.PageID, key uint64, rid core.RID) (uint64, core.PageID, error) {
+func (ix *CoarseIndex) insertRec(w *sim.Worker, nodeID core.PageID, key uint64, rid core.RID) (uint64, core.PageID, error) {
 	db := ix.db
 	fr, err := db.pool.Get(w, nodeID)
 	if err != nil {
@@ -407,7 +406,8 @@ func insertIntAt(n *node, key uint64, child core.PageID) {
 
 // Update changes the RID stored under an existing key (e.g. after a
 // tuple relocation).
-func (ix *Index) Update(w *sim.Worker, key uint64, rid core.RID) error {
+func (ix *CoarseIndex) Update(w *sim.Worker, key uint64, rid core.RID) error {
+	ix.stats.updates.Add(1)
 	db := ix.db
 	db.stateMu.RLock()
 	defer db.stateMu.RUnlock()
@@ -441,7 +441,8 @@ func (ix *Index) Update(w *sim.Worker, key uint64, rid core.RID) error {
 
 // Delete removes a key (lazy deletion: leaves are never merged, which is
 // adequate for the OLTP workloads where deletes are rare).
-func (ix *Index) Delete(w *sim.Worker, key uint64) (bool, error) {
+func (ix *CoarseIndex) Delete(w *sim.Worker, key uint64) (bool, error) {
+	ix.stats.deletes.Add(1)
 	db := ix.db
 	db.stateMu.RLock()
 	defer db.stateMu.RUnlock()
@@ -479,7 +480,8 @@ func (ix *Index) Delete(w *sim.Worker, key uint64) (bool, error) {
 // Range visits keys in [lo, hi] in order until fn returns false. The
 // tree latch is released while fn runs, so the callback may perform
 // table reads; keys inserted concurrently may or may not be seen.
-func (ix *Index) Range(w *sim.Worker, lo, hi uint64, fn func(key uint64, rid core.RID) bool) error {
+func (ix *CoarseIndex) Range(w *sim.Worker, lo, hi uint64, fn func(key uint64, rid core.RID) bool) error {
+	ix.stats.scans.Add(1)
 	db := ix.db
 	// Descend to the leaf containing lo.
 	db.stateMu.RLock()

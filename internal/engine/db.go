@@ -64,6 +64,14 @@ type Options struct {
 	ReclaimFlushBatch int
 	// UseECC enables sectioned ECC in the OOB area.
 	UseECC bool
+	// IndexKind selects the B+tree implementation CreateIndex builds.
+	// The zero value (IndexCoarse) keeps the tree-wide latch whose page
+	// layout and allocation order the paper's golden renders pin —
+	// mirroring the PoolShards=1 pattern. IndexOLC switches to
+	// optimistic lock coupling for the concurrency benchmarks and
+	// production-style deployments. Individual indexes can override via
+	// CreateIndexKind.
+	IndexKind IndexKind
 	// BackgroundMaintenance moves buffer cleaning and log-space
 	// reclamation (FlushOldest + fuzzy checkpoint) off the transaction
 	// path onto a dedicated maintenance goroutine — Shore-MT's page
@@ -121,6 +129,9 @@ func (o Options) Validate(flashPageSize int) error {
 	if o.PoolShards < 0 {
 		return fmt.Errorf("%w: PoolShards %d", ErrBadOptions, o.PoolShards)
 	}
+	if o.IndexKind != IndexCoarse && o.IndexKind != IndexOLC {
+		return fmt.Errorf("%w: IndexKind %d", ErrBadOptions, int(o.IndexKind))
+	}
 	return nil
 }
 
@@ -145,12 +156,13 @@ type DB struct {
 	pool       *buffer.Pool
 	inRecovery bool
 
-	// catMu guards the catalog maps (stores, tables, tablespaces). DDL
-	// only; never held across page I/O.
+	// catMu guards the catalog maps (stores, tables, tablespaces,
+	// indexes). DDL only; never held across page I/O.
 	catMu       sync.Mutex
 	stores      map[string]*PageStore // by region name
 	tables      map[string]*Table
 	tablespaces map[string]string // tablespace name → region name (DDL)
+	indexes     map[string]Index  // by index name (Stats observability)
 
 	// pageDir maps every allocated page to its owning store (sharded; on
 	// the buffer pool's fetch/flush path). locks is the sharded no-wait

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ipa/internal/core"
+	"ipa/internal/page"
+	"ipa/internal/sim"
+)
+
+// Index is the pluggable ordered-index API: a uint64-keyed B+tree
+// mapping keys to RIDs. Two implementations exist, selectable per
+// database (Options.IndexKind) or per index (CreateIndexKind):
+//
+//   - IndexCoarse — one reader/writer latch per tree. Deterministic and
+//     byte-identical to the historical index, which the paper's golden
+//     renders depend on; the default, mirroring the PoolShards=1
+//     pattern.
+//   - IndexOLC — optimistic lock coupling over per-frame version words.
+//     Readers never block each other, writers latch only the nodes they
+//     change; for the concurrency benchmarks and production-style use.
+//
+// The interface deliberately has no Root() method: with a concurrent
+// tree, a root id fetched in one call is stale by the next, so the root
+// lookup and the first descent step happen as one validated step inside
+// each operation. (The concrete types keep Root() for tests and tools.)
+type Index interface {
+	// Name returns the index name.
+	Name() string
+	// Lookup returns the RID stored under key.
+	Lookup(w *sim.Worker, key uint64) (core.RID, bool, error)
+	// Insert adds key → rid; duplicate keys fail with ErrKeyExists.
+	Insert(w *sim.Worker, key uint64, rid core.RID) error
+	// Update changes the RID under an existing key.
+	Update(w *sim.Worker, key uint64, rid core.RID) error
+	// Delete removes a key, reporting whether it was present.
+	Delete(w *sim.Worker, key uint64) (bool, error)
+	// Range visits keys in [lo, hi] in order until fn returns false.
+	Range(w *sim.Worker, lo, hi uint64, fn func(key uint64, rid core.RID) bool) error
+	// Stats snapshots the index's operation and contention counters.
+	Stats() IndexStats
+}
+
+// IndexKind selects a B+tree implementation.
+type IndexKind int
+
+const (
+	// IndexCoarse is the tree-wide reader/writer latch (the default).
+	IndexCoarse IndexKind = iota
+	// IndexOLC is the optimistic-lock-coupling tree.
+	IndexOLC
+)
+
+// String names the kind the way DDL and bench labels spell it.
+func (k IndexKind) String() string {
+	switch k {
+	case IndexCoarse:
+		return "coarse"
+	case IndexOLC:
+		return "olc"
+	default:
+		return fmt.Sprintf("IndexKind(%d)", int(k))
+	}
+}
+
+// IndexStats is a snapshot of one index's counters. Restarts and
+// LatchWaits stay zero for the coarse tree: it never restarts, and its
+// single tree latch is not frame-level.
+type IndexStats struct {
+	Kind    IndexKind
+	Lookups uint64
+	Inserts uint64
+	Updates uint64
+	Deletes uint64
+	Scans   uint64
+	// Restarts counts OLC descents abandoned because a version check
+	// failed (a concurrent split or root change invalidated the path).
+	Restarts uint64
+	// LatchWaits counts frame latch acquisitions that found the latch
+	// held and had to block.
+	LatchWaits uint64
+}
+
+// indexCounters is the shared counter block of both tree kinds. All
+// fields are atomics: lookups run concurrently in both trees.
+type indexCounters struct {
+	lookups    atomic.Uint64
+	inserts    atomic.Uint64
+	updates    atomic.Uint64
+	deletes    atomic.Uint64
+	scans      atomic.Uint64
+	restarts   atomic.Uint64
+	latchWaits atomic.Uint64
+}
+
+func (c *indexCounters) snapshot(kind IndexKind) IndexStats {
+	return IndexStats{
+		Kind:       kind,
+		Lookups:    c.lookups.Load(),
+		Inserts:    c.inserts.Load(),
+		Updates:    c.updates.Load(),
+		Deletes:    c.deletes.Load(),
+		Scans:      c.scans.Load(),
+		Restarts:   c.restarts.Load(),
+		LatchWaits: c.latchWaits.Load(),
+	}
+}
+
+// CreateIndex creates an empty B+tree of the database's configured kind
+// (Options.IndexKind), placed in the named region.
+func (db *DB) CreateIndex(name, regionName string) (Index, error) {
+	return db.CreateIndexKind(name, regionName, db.opts.IndexKind)
+}
+
+// CreateIndexKind creates an empty B+tree of an explicit kind, placed
+// in the named region.
+func (db *DB) CreateIndexKind(name, regionName string, kind IndexKind) (Index, error) {
+	st, err := db.AttachRegion(regionName)
+	if err != nil {
+		return nil, err
+	}
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	fr, pg, err := db.newPage(nil, st, 0, page.FlagIndex|page.FlagLeaf)
+	if err != nil {
+		return nil, err
+	}
+	root := pg.ID()
+	if err := db.pool.Unpin(nil, fr, true, db.log.Head()); err != nil {
+		return nil, err
+	}
+	var ix Index
+	switch kind {
+	case IndexCoarse:
+		ix = &CoarseIndex{db: db, st: st, name: name, root: root}
+	case IndexOLC:
+		o := &OLCIndex{db: db, st: st, name: name}
+		o.root.Store(uint64(root))
+		ix = o
+	default:
+		return nil, fmt.Errorf("%w: IndexKind %d", ErrBadOptions, int(kind))
+	}
+	db.registerIndex(ix)
+	return ix, nil
+}
+
+// registerIndex records the index in the catalog for Stats. A repeated
+// name replaces the previous entry (indexes are non-logged and tests
+// re-create them freely); the replaced tree keeps working, it just
+// stops being reported.
+func (db *DB) registerIndex(ix Index) {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	if db.indexes == nil {
+		db.indexes = make(map[string]Index)
+	}
+	db.indexes[ix.Name()] = ix
+}
+
+// Index returns a registered index by name, or nil.
+func (db *DB) Index(name string) Index {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	return db.indexes[name]
+}

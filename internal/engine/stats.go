@@ -37,6 +37,10 @@ type Stats struct {
 	// page store's IPA flush decisions.
 	Regions map[string]noftl.Stats
 	Stores  map[string]StoreStats
+
+	// Indexes reports every registered index's operation and contention
+	// counters (OLC restarts and latch waits), keyed by index name.
+	Indexes map[string]IndexStats
 }
 
 // Stats assembles a snapshot across all engine layers. After Close it
@@ -67,10 +71,18 @@ func (db *DB) Stats() (Stats, error) {
 	for name, st := range db.stores {
 		stores[name] = st
 	}
+	indexes := make(map[string]Index, len(db.indexes))
+	for name, ix := range db.indexes {
+		indexes[name] = ix
+	}
 	db.catMu.Unlock()
 	for name, st := range stores {
 		s.Regions[name] = st.Region().Stats()
 		s.Stores[name] = st.Stats()
+	}
+	s.Indexes = make(map[string]IndexStats, len(indexes))
+	for name, ix := range indexes {
+		s.Indexes[name] = ix.Stats()
 	}
 	return s, nil
 }

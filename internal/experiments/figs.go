@@ -245,6 +245,7 @@ func All(p Params) (string, error) {
 		{"fig1", Fig1}, {"fig6", Fig6}, {"fig7", Fig7}, {"fig8", Fig8},
 		{"fig9", Fig9}, {"fig10", Fig10}, {"longevity", Longevity},
 		{"schemes", Schemes},
+		{"index", Index},
 	}
 	var b strings.Builder
 	for _, e := range exps {
@@ -299,6 +300,8 @@ func ByID(id string, p Params) (*Table, error) {
 		return Longevity(p)
 	case "schemes":
 		return Schemes(p)
+	case "index":
+		return Index(p)
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q", id)
 	}

@@ -36,13 +36,14 @@ import (
 // program — which keeps log pages inside the programmed population that
 // crash-recovery scans and at most MaxAppends batches land on one page.
 //
-// Locking: dl.mu serialises every DiffLog operation and nests OUTSIDE
+// Locking: dl.mu serialises every DiffLog mutation and nests OUTSIDE
 // chip locks and map shards (dl.mu → cs.mu → mapShard.mu), matching the
 // region's internal order. Claimed log blocks are parked `collecting`
 // with valid=0 so the garbage collector and wear leveler never see
-// them. The only reader that can race a merge is the engine's Fetch
-// (which reads the base page without dl.mu); the epoch counter lets it
-// detect an interleaved merge and retry.
+// them. The read-merge path (ApplyTo) only snapshots under dl.mu and
+// performs its log-page reads unlocked; it — like the engine's Fetch,
+// which reads the base page without dl.mu — relies on the epoch counter
+// to detect an interleaved merge and retry.
 
 var pdlMagic = []byte("PDLLOG01")
 
@@ -149,8 +150,12 @@ type DiffLog struct {
 	epoch atomic.Uint64 // bumped per merge; readers retry on change
 
 	encBuf  []byte // record encode scratch
-	scratch []byte // log-page read scratch (ApplyTo)
+	scratch []byte // log-page read scratch (under dl.mu)
 	pageBuf []byte // base-page merge scratch
+
+	// readBufs recycles per-call log-page buffers for ApplyTo, which
+	// reads flash outside dl.mu and so cannot share dl.scratch.
+	readBufs sync.Pool
 
 	stats PDLStats
 }
@@ -164,7 +169,7 @@ func NewDiffLog(r *Region, cfg PDLConfig) (*DiffLog, error) {
 		return nil, fmt.Errorf("noftl: region %q: diff log requires a disabled IPA scheme", r.cfg.Name)
 	}
 	ps := r.PageSize()
-	return &DiffLog{
+	dl := &DiffLog{
 		r:       r,
 		cfg:     cfg,
 		chips:   make(map[int]*pdlChip),
@@ -173,7 +178,12 @@ func NewDiffLog(r *Region, cfg PDLConfig) (*DiffLog, error) {
 		encBuf:  make([]byte, 0, ps),
 		scratch: make([]byte, ps),
 		pageBuf: make([]byte, ps),
-	}, nil
+	}
+	dl.readBufs.New = func() any {
+		b := make([]byte, ps)
+		return &b
+	}
+	return dl, nil
 }
 
 // maxRecordBytes is the per-record budget: a fraction of the page,
@@ -387,10 +397,57 @@ func (dl *DiffLog) openBlockLocked(pc *pdlChip) (*logBlock, error) {
 // ApplyTo merges the page's outstanding differentials (oldest first)
 // into buf, which must hold the base image. Returns the number of bytes
 // applied. A page with no differentials costs one map lookup.
+//
+// The flash reads run OUTSIDE dl.mu — a log-page fetch is the expensive
+// part of a merge-on-read, and holding the lock across it would stall
+// every concurrent append behind every reader. The ref list is borrowed
+// under a brief dl.mu hold: existing elements are never mutated in
+// place (Append only extends past the borrowed length, merges drop the
+// whole map entry, Rebuild runs on a quiesced region), so reading the
+// snapshot unlocked is race-free. A merge that interleaves can still
+// erase or recycle a snapshotted log page underneath us; the epoch
+// check turns the resulting parse failure — or a silently inconsistent
+// image — into a clean return, and the caller's epoch loop
+// (PageStore.Fetch) re-reads the base and retries, per the Epoch
+// contract.
 func (dl *DiffLog) ApplyTo(w *sim.Worker, id core.PageID, buf []byte) (int, error) {
 	dl.mu.Lock()
-	defer dl.mu.Unlock()
-	return dl.applyLocked(w, id, buf)
+	e0 := dl.epoch.Load()
+	refs := dl.refs[id]
+	dl.mu.Unlock()
+	if len(refs) == 0 {
+		return 0, nil
+	}
+	sp := dl.readBufs.Get().(*[]byte)
+	defer dl.readBufs.Put(sp)
+	scratch := *sp
+	arr := dl.r.dev.arr
+	applied := 0
+	var cur flash.PPN
+	loaded := false
+	for _, ref := range refs {
+		if !loaded || ref.ppn != cur {
+			if _, err := arr.ReadInto(w, ref.ppn, scratch, nil); err != nil {
+				if dl.epoch.Load() != e0 {
+					return applied, nil // merge interleaved; caller retries
+				}
+				return applied, fmt.Errorf("noftl: pdl read log page %d: %w", ref.ppn, err)
+			}
+			cur, loaded = ref.ppn, true
+		}
+		n, err := applyRecord(scratch[ref.off:ref.off+ref.size], buf)
+		if err != nil {
+			if dl.epoch.Load() != e0 {
+				return applied, nil // merge interleaved; caller retries
+			}
+			return applied, fmt.Errorf("noftl: pdl apply page %d: %w", id, err)
+		}
+		applied += n
+	}
+	dl.mu.Lock()
+	dl.stats.Applies++
+	dl.mu.Unlock()
+	return applied, nil
 }
 
 func (dl *DiffLog) applyLocked(w *sim.Worker, id core.PageID, buf []byte) (int, error) {

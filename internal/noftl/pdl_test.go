@@ -3,6 +3,7 @@ package noftl
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 
 	"ipa/internal/core"
@@ -301,4 +302,108 @@ func TestCostBenefitVictimSelection(t *testing.T) {
 	if st := r.Stats(); st.GCErases == 0 {
 		t.Errorf("no GC under churn: %+v", st)
 	}
+}
+
+// TestPDLApplyToAllocFree pins the read-merge path at zero steady-state
+// allocations: the scratch page comes from the DiffLog's pool and the
+// ref list is borrowed, not copied.
+func TestPDLApplyToAllocFree(t *testing.T) {
+	r, dl := newPDLRegion(t, 12, PDLConfig{})
+	if err := r.Write(nil, 3, pageOf(r.dev, 0x55), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := dl.Append(nil, 3, core.LSN(i+1), csOf(core.Pair{Off: uint16(i), Val: byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, r.PageSize())
+	if err := r.ReadInto(nil, 3, buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := dl.ApplyTo(nil, 3, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("ApplyTo allocates %.1f objects per call, want 0", allocs)
+	}
+	for i := 0; i < 8; i++ {
+		if buf[i] != byte(i) {
+			t.Fatalf("byte %d lost: %#x", i, buf[i])
+		}
+	}
+}
+
+// TestPDLApplyConcurrentWithAppends races the unlocked read-merge path
+// against appends and the merges they force (one log block per chip).
+// Readers follow the documented epoch protocol — snapshot epoch, read
+// base, ApplyTo, retry on change — and check a monotonicity invariant:
+// the writer only ever raises buf[0] per page, so each reader's
+// successive consistent images must be non-decreasing. Run under -race
+// this is the locking-narrowing's data-race check.
+func TestPDLApplyConcurrentWithAppends(t *testing.T) {
+	r, dl := newPDLRegion(t, 12, PDLConfig{MaxBlocksPerChip: 1})
+	const pages = 4
+	for id := core.PageID(1); id <= pages; id++ {
+		if err := r.Write(nil, id, pageOf(r.dev, 0x00), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		lsn := core.LSN(0)
+		for v := byte(1); v <= 60; v++ {
+			for id := core.PageID(1); id <= pages; id++ {
+				lsn++
+				if err := dl.Append(nil, id, lsn, csOf(core.Pair{Off: 0, Val: v})); err != nil {
+					t.Errorf("append page %d val %d: %v", id, v, err)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, r.PageSize())
+			last := [pages + 1]byte{}
+			for i := 0; i < 400; i++ {
+				id := core.PageID(i%pages + 1)
+				var img byte
+				for retry := 0; ; retry++ {
+					if retry > 100 {
+						t.Errorf("reader %d: page %d never stabilised", g, id)
+						return
+					}
+					e0 := dl.Epoch()
+					if err := r.ReadInto(nil, id, buf, nil); err != nil {
+						t.Errorf("reader %d read base %d: %v", g, id, err)
+						return
+					}
+					if _, err := dl.ApplyTo(nil, id, buf); err != nil {
+						t.Errorf("reader %d apply %d: %v", g, id, err)
+						return
+					}
+					if dl.Epoch() == e0 {
+						img = buf[0]
+						break
+					}
+				}
+				if img < last[id] {
+					t.Errorf("reader %d: page %d went backwards %d -> %d", g, id, last[id], img)
+					return
+				}
+				last[id] = img
+			}
+		}(g)
+	}
+	wg.Wait()
+	<-done
 }

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ipa/internal/core"
+	"ipa/internal/engine"
+	"ipa/internal/sim"
+)
+
+// IndexOpsConfig describes one run of the bare-index microbenchmark:
+// point lookups against scattered fresh-key inserts over a preloaded
+// tree, no tables, transactions or WAL in the way. It is the
+// measurement harness behind BenchmarkIndexOps and the "index"
+// experiment table.
+type IndexOpsConfig struct {
+	Kind    engine.IndexKind
+	ReadPct int // lookup percentage; the rest are inserts
+	Workers int // simulated workers round-robined over
+	Preload int // keys loaded before the measured phase
+	Ops     int // measured operations
+	Seed    int64
+	// Name names the index; distinct runs against one DB need distinct
+	// names (default "ixops").
+	Name string
+}
+
+// IndexOpsResult is one run's measurement.
+type IndexOpsResult struct {
+	// SimTime is the simulated makespan of the measured phase: the
+	// latest worker clock minus the common start, the same convention
+	// RunParallel uses. (The global horizon would also count background
+	// cleaner writes, which are async under steal/no-force and identical
+	// for both trees.)
+	SimTime time.Duration
+	// Before and After bracket the index's counters around the measured
+	// phase; After-Before restarts and latch waits are the OLC
+	// contention telemetry.
+	Before, After engine.IndexStats
+}
+
+// RunIndexOps preloads an index of cfg.Kind and drives cfg.Ops
+// operations through it under the simulated latch-cost model: the
+// coarse tree pays the tree-wide latchSim horizon, the OLC tree runs
+// horizon-free and surfaces its residual cost as restart/latch-wait
+// counters. Workers are virtual: one goroutine round-robins the
+// operations over cfg.Workers simulated clocks, so the interleaving is
+// the ideal schedule and the run is deterministic for a given seed.
+// Real-goroutine contention is covered by the YCSB driver and the
+// engine's -race stress tests.
+func RunIndexOps(db *engine.DB, tl *sim.Timeline, region string, cfg IndexOpsConfig) (IndexOpsResult, error) {
+	var res IndexOpsResult
+	if cfg.Workers < 1 || cfg.Preload < 1 || cfg.Ops < 0 {
+		return res, fmt.Errorf("workload: index ops config %+v invalid", cfg)
+	}
+	if cfg.ReadPct < 0 || cfg.ReadPct > 100 {
+		return res, fmt.Errorf("workload: read pct %d out of range", cfg.ReadPct)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "ixops"
+	}
+	ix, err := db.CreateIndexKind(name, region, cfg.Kind)
+	if err != nil {
+		return res, err
+	}
+	loader := tl.NewWorker()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, k := range rng.Perm(cfg.Preload) {
+		if err := ix.Insert(loader, uint64(k)+1, core.RID{Page: core.PageID(k + 1)}); err != nil {
+			return res, err
+		}
+	}
+	var latch *latchSim
+	if cfg.Kind == engine.IndexCoarse {
+		latch = &latchSim{}
+	}
+	start := tl.Horizon()
+	ws := make([]*sim.Worker, cfg.Workers)
+	for i := range ws {
+		ws[i] = tl.NewWorker()
+		ws[i].SetNow(start)
+	}
+	res.Before = ix.Stats()
+	opRNG := rand.New(rand.NewSource(cfg.Seed + 97))
+	for i := 0; i < cfg.Ops; i++ {
+		w := ws[i%cfg.Workers]
+		if opRNG.Intn(100) < cfg.ReadPct {
+			if latch != nil {
+				latch.enterShared(w)
+			}
+			w.Compute(IndexOpCPU)
+			_, _, err := ix.Lookup(w, uint64(opRNG.Intn(cfg.Preload)+1))
+			if latch != nil {
+				latch.exitShared(w)
+			}
+			if err != nil {
+				return res, err
+			}
+		} else {
+			if latch != nil {
+				latch.enterExcl(w)
+			}
+			w.Compute(IndexOpCPU)
+			// Scattered fresh keys: writers land on random leaves
+			// instead of one hot edge.
+			k := uint64(cfg.Preload) + 1 + uint64(opRNG.Int63n(1<<40))
+			err := ix.Insert(w, k, core.RID{Page: 1})
+			if latch != nil {
+				latch.exitExcl(w)
+			}
+			if err != nil && !errors.Is(err, engine.ErrKeyExists) {
+				return res, err
+			}
+		}
+	}
+	var end sim.Time
+	for _, w := range ws {
+		if w.Now() > end {
+			end = w.Now()
+		}
+	}
+	res.SimTime = time.Duration(end - start)
+	res.After = ix.Stats()
+	return res, nil
+}

@@ -26,8 +26,8 @@ type LinkBench struct {
 	Skew float64
 
 	node, assoc *engine.Table
-	nodeIdx     *engine.Index
-	assocIdx    *engine.Index // key: src<<24 | seq
+	nodeIdx     engine.Index
+	assocIdx    engine.Index // key: src<<24 | seq
 
 	schNode  *engine.Schema // id(8) version(8) time(8) payloadLen(2) payload(96)
 	schAssoc *engine.Schema // src(8) dst(8) time(8) version(4) payload(12)

@@ -20,7 +20,7 @@ type TATP struct {
 	Subscribers int
 
 	subscriber *engine.Table
-	subIdx     *engine.Index
+	subIdx     engine.Index
 
 	// sid(4) bits(1) hex(1) location(4) msc(8) vlr(8) filler(64)
 	sch *engine.Schema

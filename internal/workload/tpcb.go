@@ -25,7 +25,7 @@ type TPCB struct {
 	AccountsPerBranch int
 
 	branch, teller, account, history *engine.Table
-	accountIdx                       *engine.Index
+	accountIdx                       engine.Index
 
 	branchRIDs []core.RID
 	tellerRIDs []core.RID

@@ -26,7 +26,7 @@ type TPCC struct {
 
 	warehouse, district, customer, stock *engine.Table
 	order, orderLine, history            *engine.Table
-	stockIdx, custIdx                    *engine.Index
+	stockIdx, custIdx                    engine.Index
 
 	whRIDs   []core.RID
 	distRIDs []core.RID

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"ipa/internal/engine"
+	"ipa/internal/sim"
+)
+
+func runYCSB(t *testing.T, kind engine.IndexKind, mutate func(*YCSB), terminals, txTotal int) (Results, *YCSB) {
+	t.Helper()
+	db, tl := newConcurrentDBShards(t, 256, 8)
+	y := NewYCSB(db, "main", 500, kind)
+	if mutate != nil {
+		mutate(y)
+	}
+	loader := tl.NewWorker()
+	if err := y.Load(loader); err != nil {
+		t.Fatal(err)
+	}
+	ws := make([]*sim.Worker, terminals)
+	for i := range ws {
+		ws[i] = tl.NewWorker()
+	}
+	res, err := RunParallel(y, ws, txTotal, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, y
+}
+
+func TestYCSBMixes(t *testing.T) {
+	for _, kind := range []engine.IndexKind{engine.IndexCoarse, engine.IndexOLC} {
+		t.Run(kind.String(), func(t *testing.T) {
+			// Mixed 50/50 with some inserts and scans, Zipfian skew,
+			// 8 real terminals.
+			res, y := runYCSB(t, kind, func(y *YCSB) {
+				y.ReadPct, y.UpdatePct, y.InsertPct = 45, 40, 10 // 5% scans
+				y.Zipfian = true
+			}, 8, 2000)
+			if res.Transactions != 2000 {
+				t.Fatalf("committed %d of 2000 (aborted %d)", res.Transactions, res.Aborted)
+			}
+			if res.Throughput <= 0 {
+				t.Error("no throughput measured")
+			}
+			for _, op := range []string{"Read", "Update", "Insert", "Scan"} {
+				if res.PerType[op] == nil {
+					t.Errorf("mix never issued a %s", op)
+				}
+			}
+			st := y.Index().Stats()
+			if st.Kind != kind {
+				t.Errorf("index kind = %v, want %v", st.Kind, kind)
+			}
+			if st.Lookups == 0 || st.Inserts == 0 || st.Scans == 0 {
+				t.Errorf("index stats did not record the run: %+v", st)
+			}
+		})
+	}
+}
+
+func TestYCSBUniformSingleTerminal(t *testing.T) {
+	res, _ := runYCSB(t, engine.IndexCoarse, nil, 1, 500)
+	if res.Transactions != 500 || res.Aborted != 0 {
+		t.Fatalf("committed %d, aborted %d", res.Transactions, res.Aborted)
+	}
+	if res.PerType["Read"] == nil {
+		t.Fatal("default 95/5 mix issued no reads")
+	}
+}
+
+func TestYCSBRejectsBadMix(t *testing.T) {
+	db, tl := newConcurrentDBShards(t, 64, 0)
+	y := NewYCSB(db, "main", 10, engine.IndexCoarse)
+	y.ReadPct, y.UpdatePct, y.InsertPct = 80, 30, 10
+	if err := y.Load(tl.NewWorker()); err == nil {
+		t.Fatal("mix summing past 100 accepted")
+	}
+}
