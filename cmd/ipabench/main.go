@@ -28,7 +28,7 @@ var ids = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6",
 	"table7", "table8", "table9", "table10", "table11",
 	"fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "longevity",
-	"schemes", "index",
+	"schemes", "index", "htap",
 }
 
 func main() {
@@ -86,8 +86,14 @@ func main() {
 				table = experiments.IndexTable(rows)
 				data, err = experiments.IndexJSON(p, rows)
 			}
+		case "htap":
+			var rows []experiments.HTAPRow
+			if rows, err = experiments.RunHTAPBench(p); err == nil {
+				table = experiments.HTAPTable(rows)
+				data, err = experiments.HTAPJSON(p, rows)
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "ipabench: -out is only supported with -exp schemes or -exp index")
+			fmt.Fprintln(os.Stderr, "ipabench: -out is only supported with -exp schemes, index or htap")
 			os.Exit(2)
 		}
 		if err != nil {

@@ -131,6 +131,57 @@ func (c *Conn) Scan(table string, limit uint32) ([]ScanEntry, error) {
 	return out, nil
 }
 
+// BeginSnapshot opens a read-only snapshot transaction under a fresh
+// handle, returning the handle and the pinned snapshot LSN. Reads and
+// scans through it (SnapshotRead/SnapshotScan) observe the database
+// frozen at that LSN, hold no locks and never abort on writer
+// conflicts; end it with Commit or Abort like any transaction. Requires
+// the server's engine to run with MVCC enabled (StatusBadRequest
+// otherwise).
+func (c *Conn) BeginSnapshot() (tx uint64, snapshotLSN uint64, err error) {
+	tx = c.NewTxID()
+	f, err := c.do(wire.OpBeginSnapshot, wire.NewBuilder(8).Uint64(tx).Bytes())
+	if err != nil {
+		return 0, 0, err
+	}
+	r := wire.NewReader(f.Payload)
+	snapshotLSN = r.Uint64()
+	return tx, snapshotLSN, r.Err()
+}
+
+// SnapshotRead fetches a tuple as of the snapshot transaction's pinned
+// LSN.
+func (c *Conn) SnapshotRead(tx uint64, table string, rid wire.RID) ([]byte, error) {
+	p := wire.NewBuilder(24 + len(table)).Uint64(tx).String(table).RID(rid).Bytes()
+	f, err := c.do(wire.OpSnapshotRead, p)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(f.Payload)
+	data := r.Blob()
+	return data, r.Err()
+}
+
+// SnapshotScan returns up to limit tuples (0 = all) visible at the
+// snapshot transaction's pinned LSN.
+func (c *Conn) SnapshotScan(tx uint64, table string, limit uint32) ([]ScanEntry, error) {
+	p := wire.NewBuilder(16 + len(table)).Uint64(tx).String(table).Uint32(limit).Bytes()
+	f, err := c.do(wire.OpSnapshotScan, p)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(f.Payload)
+	count := r.Uint32()
+	out := make([]ScanEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		out = append(out, ScanEntry{RID: r.RID(), Data: r.Blob()})
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("client: malformed SNAPSCAN response: %w", err)
+	}
+	return out, nil
+}
+
 // Stats fetches the server's stats document as raw JSON.
 func (c *Conn) Stats() ([]byte, error) {
 	f, err := c.do(wire.OpStats, nil)

@@ -20,6 +20,14 @@ type Stats struct {
 	Checkpoints uint64 // fuzzy checkpoints taken
 	LogReclaims uint64 // eager log-space reclamation passes
 
+	// Aborts splits transaction aborts by reason, and MVCC reports the
+	// version-store counters (zero with Enabled=false unless
+	// Options.MVCC) — together the observability for the snapshot-read
+	// win: locking reads burn LockConflict aborts under skew, snapshot
+	// reads retire them.
+	Aborts AbortStats
+	MVCC   MVCCStats
+
 	// Write-ahead log.
 	LogFlushes   uint64 // flush operations that moved the durable horizon
 	LogAbsorbed  uint64 // commits absorbed by another committer's group flush
@@ -43,6 +51,22 @@ type Stats struct {
 	Indexes map[string]IndexStats
 }
 
+// AbortStats attributes transaction aborts to their reason. The server
+// layer adds its own PoisonedAborts counter (aborts it issues on behalf
+// of failed sessions) on top of these engine-level reasons.
+type AbortStats struct {
+	// LockConflict counts aborts of transactions that hit the no-wait
+	// lock table (ErrLockConflict) — the contention cost MVCC snapshot
+	// reads retire for the read path.
+	LockConflict uint64
+	// Explicit counts aborts of transactions that never saw a lock
+	// conflict (application rollbacks, orphan cleanup, shutdown).
+	Explicit uint64
+	// LockConflicts counts raw ErrLockConflict occurrences (a
+	// transaction can hit several before aborting once).
+	LockConflicts uint64
+}
+
 // Stats assembles a snapshot across all engine layers. After Close it
 // returns ErrClosed.
 func (db *DB) Stats() (Stats, error) {
@@ -55,8 +79,14 @@ func (db *DB) Stats() (Stats, error) {
 	db.stateMu.RUnlock()
 
 	s := Stats{
-		Checkpoints:  db.checkpoints.Load(),
-		LogReclaims:  db.reclaims.Load(),
+		Checkpoints: db.checkpoints.Load(),
+		LogReclaims: db.reclaims.Load(),
+		Aborts: AbortStats{
+			LockConflict:  db.abortsLock.Load(),
+			Explicit:      db.abortsExplicit.Load(),
+			LockConflicts: db.lockConflicts.Load(),
+		},
+		MVCC:         db.vs.stats(),
 		LogFlushes:   db.log.Flushes(),
 		LogAbsorbed:  db.log.Absorbed(),
 		LogUsedBytes: db.log.UsedBytes(),

@@ -84,6 +84,9 @@ func (t *Table) Insert(tx *Tx, data []byte) (core.RID, error) {
 	if tx.status != txActive {
 		return core.RID{}, fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
 	}
+	if tx.readOnly {
+		return core.RID{}, fmt.Errorf("%w: tx %d", ErrReadOnlyTx, tx.id)
+	}
 	db.stateMu.RLock()
 	defer db.stateMu.RUnlock()
 	t.mu.Lock()
@@ -128,6 +131,9 @@ func (t *Table) Insert(tx *Tx, data []byte) (core.RID, error) {
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return core.RID{}, err
 	}
+	if db.vs != nil {
+		db.vs.installPending(rid, tx.id, nil, true)
+	}
 	lsn := tx.logUpdate(id, wal.OpInsert, slot, nil, data)
 	pg.SetLSN(lsn)
 	fr.Unlatch()
@@ -165,6 +171,9 @@ func (t *Table) insertInto(tx *Tx, id core.PageID, data []byte) (core.RID, error
 		db.pool.Unpin(tx.w, fr, false, 0)
 		return core.RID{}, err
 	}
+	if db.vs != nil {
+		db.vs.installPending(rid, tx.id, nil, true)
+	}
 	lsn := tx.logUpdate(id, wal.OpInsert, slot, nil, data)
 	pg.SetLSN(lsn)
 	fr.Unlatch()
@@ -200,6 +209,13 @@ func (t *Table) Read(w *sim.Worker, rid core.RID) ([]byte, error) {
 	db := t.db
 	db.stateMu.RLock()
 	defer db.stateMu.RUnlock()
+	return t.readHeap(w, rid)
+}
+
+// readHeap copies the current heap tuple at rid under the page's shared
+// latch. Caller holds stateMu shared.
+func (t *Table) readHeap(w *sim.Worker, rid core.RID) ([]byte, error) {
+	db := t.db
 	fr, err := db.pool.Get(w, rid.Page)
 	if err != nil {
 		return nil, err
@@ -224,11 +240,131 @@ func (t *Table) Read(w *sim.Worker, rid core.RID) ([]byte, error) {
 	return out, nil
 }
 
+// ReadLocked reads the tuple at rid under the tuple's exclusive no-wait
+// lock, held to commit/abort — the "locking read" baseline the MVCC
+// snapshot path is measured against. Repeatable within the transaction;
+// fails immediately with ErrLockConflict when a writer holds the tuple.
+func (t *Table) ReadLocked(tx *Tx, rid core.RID) ([]byte, error) {
+	db := t.db
+	if tx.status != txActive {
+		return nil, fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
+	}
+	if tx.readOnly {
+		return nil, fmt.Errorf("%w: tx %d", ErrReadOnlyTx, tx.id)
+	}
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	if err := tx.lockRID(rid); err != nil {
+		return nil, err
+	}
+	return t.readHeap(tx.w, rid)
+}
+
+// ReadSnapshot reads the tuple at rid as of the snapshot transaction's
+// pinned LSN, resolving through the MVCC version store. The heap tuple
+// is read first (under the page's shared latch) and the version chain
+// consulted after — the order that guarantees any concurrent writer's
+// before-image is found if the heap shows its uncommitted change.
+func (t *Table) ReadSnapshot(tx *Tx, rid core.RID) ([]byte, error) {
+	db := t.db
+	if tx.status != txActive {
+		return nil, fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
+	}
+	if !tx.readOnly || db.vs == nil {
+		return nil, fmt.Errorf("%w: tx %d", ErrNotSnapshot, tx.id)
+	}
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	db.vs.snapReads.Add(1)
+	heap, heapErr := t.readHeap(tx.w, rid)
+	data, absent, override := db.vs.resolve(rid, tx.snapshot)
+	if override {
+		if absent {
+			return nil, fmt.Errorf("%w: %v (not visible at snapshot LSN %d)", ErrNoTuple, rid, tx.snapshot)
+		}
+		return append([]byte(nil), data...), nil
+	}
+	return heap, heapErr
+}
+
+// ScanSnapshot visits every tuple visible at the snapshot transaction's
+// pinned LSN, in heap order, until fn returns false. Each page's slots
+// are copied under the shared latch, then resolved through the version
+// store with no latches held — so a scan holds no locks, blocks no
+// writer and never aborts, regardless of length. Tuples deleted after
+// the snapshot are resurrected from their chains; tuples inserted after
+// it are suppressed.
+func (t *Table) ScanSnapshot(tx *Tx, fn func(rid core.RID, tuple []byte) bool) error {
+	db := t.db
+	if tx.status != txActive {
+		return fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
+	}
+	if !tx.readOnly || db.vs == nil {
+		return fmt.Errorf("%w: tx %d", ErrNotSnapshot, tx.id)
+	}
+	db.vs.snapScans.Add(1)
+	t.mu.Lock()
+	pages := append([]core.PageID(nil), t.pages...)
+	t.mu.Unlock()
+	for _, id := range pages {
+		type slotState struct {
+			tup  []byte
+			live bool
+		}
+		var slots []slotState
+		db.stateMu.RLock()
+		fr, err := db.pool.Get(tx.w, id)
+		if err != nil {
+			db.stateMu.RUnlock()
+			return err
+		}
+		fr.RLatch()
+		pg, err := page.Attach(fr.Data, t.st.layout)
+		if err != nil {
+			fr.RUnlatch()
+			db.pool.Unpin(tx.w, fr, false, 0)
+			db.stateMu.RUnlock()
+			return err
+		}
+		slots = make([]slotState, pg.SlotCount())
+		for s := range slots {
+			if tup, err := pg.ReadTuple(s); err == nil {
+				slots[s] = slotState{tup: append([]byte(nil), tup...), live: true}
+			}
+		}
+		fr.RUnlatch()
+		db.pool.Unpin(tx.w, fr, false, 0)
+		db.stateMu.RUnlock()
+		for s, st := range slots {
+			rid := core.RID{Page: id, Slot: uint16(s)}
+			data, absent, override := db.vs.resolve(rid, tx.snapshot)
+			var tup []byte
+			switch {
+			case override && absent:
+				continue // not visible at the snapshot
+			case override:
+				tup = append([]byte(nil), data...)
+			case st.live:
+				tup = st.tup
+			default:
+				continue // deleted, with no retained history
+			}
+			if !fn(rid, tup) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
 // Update replaces the tuple at rid, logging before/after images.
 func (t *Table) Update(tx *Tx, rid core.RID, data []byte) error {
 	db := t.db
 	if tx.status != txActive {
 		return fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
+	}
+	if tx.readOnly {
+		return fmt.Errorf("%w: tx %d", ErrReadOnlyTx, tx.id)
 	}
 	db.stateMu.RLock()
 	defer db.stateMu.RUnlock()
@@ -253,6 +389,11 @@ func (t *Table) Update(tx *Tx, rid core.RID, data []byte) error {
 		return fmt.Errorf("%w: %v: %v", ErrNoTuple, rid, err)
 	}
 	before := append([]byte(nil), old...)
+	if db.vs != nil {
+		// Under the exclusive latch, before the heap mutation: a snapshot
+		// reader that sees the new heap state must find this before-image.
+		db.vs.installPending(rid, tx.id, before, false)
+	}
 	if err := pg.Update(int(rid.Slot), data); err != nil {
 		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)
@@ -289,6 +430,9 @@ func (t *Table) Delete(tx *Tx, rid core.RID) error {
 	if tx.status != txActive {
 		return fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
 	}
+	if tx.readOnly {
+		return fmt.Errorf("%w: tx %d", ErrReadOnlyTx, tx.id)
+	}
 	db.stateMu.RLock()
 	defer db.stateMu.RUnlock()
 	if err := tx.lockRID(rid); err != nil {
@@ -312,6 +456,9 @@ func (t *Table) Delete(tx *Tx, rid core.RID) error {
 		return fmt.Errorf("%w: %v: %v", ErrNoTuple, rid, err)
 	}
 	before := append([]byte(nil), old...)
+	if db.vs != nil {
+		db.vs.installPending(rid, tx.id, before, false)
+	}
 	if err := pg.Delete(int(rid.Slot)); err != nil {
 		fr.Unlatch()
 		db.pool.Unpin(tx.w, fr, false, 0)

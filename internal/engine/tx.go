@@ -33,6 +33,19 @@ var ErrTxDone = ErrTxClosed
 // deadlocks cannot arise; callers abort and retry.
 var ErrLockConflict = errors.New("engine: tuple locked by another transaction")
 
+// Snapshot-transaction errors.
+var (
+	// ErrMVCCDisabled is returned by BeginSnapshot when the instance was
+	// opened without Options.MVCC.
+	ErrMVCCDisabled = errors.New("engine: MVCC disabled (Options.MVCC)")
+	// ErrReadOnlyTx is returned when a snapshot transaction attempts a
+	// write (or a locking read).
+	ErrReadOnlyTx = errors.New("engine: snapshot transaction is read-only")
+	// ErrNotSnapshot is returned by ReadSnapshot/ScanSnapshot when the
+	// transaction is not a snapshot transaction.
+	ErrNotSnapshot = errors.New("engine: not a snapshot transaction")
+)
+
 // atomicLSN is an LSN readable by other goroutines (fuzzy checkpoints
 // snapshot active transactions without stopping them).
 type atomicLSN struct{ v atomic.Uint64 }
@@ -55,6 +68,16 @@ type Tx struct {
 	status   txStatus
 	updates  int
 	held     []core.RID // exclusive locks, released at commit/abort
+
+	// Snapshot transactions (BeginSnapshot): read-only, pinned at
+	// snapshot — they write no WAL records, hold no locks and are not in
+	// the active-transaction table (no checkpoint footprint).
+	readOnly bool
+	snapshot core.LSN
+
+	// lockConflict records that the transaction hit ErrLockConflict, so
+	// Abort can account the abort to the right reason.
+	lockConflict bool
 }
 
 // Begin starts a transaction bound to the worker (nil is fine for
@@ -76,14 +99,44 @@ func (db *DB) Begin(w *sim.Worker) (*Tx, error) {
 	return tx, nil
 }
 
+// BeginSnapshot starts a read-only transaction pinned at a snapshot
+// LSN: every commit at or below the snapshot is fully visible, every
+// later (or in-flight) change invisible. Snapshot transactions resolve
+// reads through the MVCC version store (Table.ReadSnapshot /
+// Table.ScanSnapshot), never touch the lock table, never block writers
+// and never abort on conflict. They write no WAL records; Commit and
+// Abort both simply release the snapshot pin. Requires Options.MVCC.
+func (db *DB) BeginSnapshot(w *sim.Worker) (*Tx, error) {
+	db.stateMu.RLock()
+	defer db.stateMu.RUnlock()
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	if db.vs == nil {
+		return nil, ErrMVCCDisabled
+	}
+	tx := &Tx{id: db.nextTx.Add(1), db: db, w: w, readOnly: true}
+	tx.snapshot = db.vs.beginSnapshot(tx.id, db.log.Head)
+	return tx, nil
+}
+
 // ID returns the transaction id.
 func (tx *Tx) ID() uint64 { return tx.id }
+
+// ReadOnly reports whether this is a snapshot (read-only) transaction.
+func (tx *Tx) ReadOnly() bool { return tx.readOnly }
+
+// SnapshotLSN returns the pinned snapshot LSN (0 for ordinary
+// transactions).
+func (tx *Tx) SnapshotLSN() core.LSN { return tx.snapshot }
 
 // lockRID acquires (or re-acquires) the exclusive tuple lock through the
 // sharded no-wait lock table.
 func (tx *Tx) lockRID(rid core.RID) error {
 	ok, fresh, owner := tx.db.locks.acquire(rid, tx.id)
 	if !ok {
+		tx.lockConflict = true
+		tx.db.lockConflicts.Add(1)
 		return fmt.Errorf("%w: %v held by tx %d", ErrLockConflict, rid, owner)
 	}
 	if fresh {
@@ -123,9 +176,25 @@ func (tx *Tx) Commit() error {
 	if tx.status != txActive {
 		return fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
 	}
+	if tx.readOnly {
+		tx.status = txCommitted
+		db.vs.endSnapshot(tx.id)
+		return nil
+	}
 	db.stateMu.RLock()
 	defer db.stateMu.RUnlock()
-	lsn := db.log.Append(wal.Record{Type: wal.RecCommit, TxID: tx.id, PrevLSN: tx.lastLSN.load()})
+	var lsn core.LSN
+	if db.vs != nil && len(tx.held) > 0 {
+		// MVCC: allocate the commit LSN and register it in-flight in one
+		// step, stamp every pending before-image with it, then retire the
+		// registration — all before locks release, so per-RID chains stay
+		// ordered and no snapshot observes a half-stamped commit.
+		lsn = db.vs.commitAppend(db.log, tx.id, tx.lastLSN.load())
+		db.vs.stampCommitted(tx.held, tx.id, lsn)
+		db.vs.finishCommit(lsn)
+	} else {
+		lsn = db.log.Append(wal.Record{Type: wal.RecCommit, TxID: tx.id, PrevLSN: tx.lastLSN.load()})
+	}
 	db.log.GroupFlush(lsn)
 	db.log.Append(wal.Record{Type: wal.RecEnd, TxID: tx.id, PrevLSN: lsn})
 	tx.status = txCommitted
@@ -145,14 +214,39 @@ func (tx *Tx) Abort() error {
 	if tx.status != txActive {
 		return fmt.Errorf("%w: tx %d", ErrTxClosed, tx.id)
 	}
+	if tx.readOnly {
+		tx.status = txAborted
+		db.vs.endSnapshot(tx.id)
+		return nil
+	}
 	db.stateMu.RLock()
 	defer db.stateMu.RUnlock()
 	db.log.Append(wal.Record{Type: wal.RecAbort, TxID: tx.id, PrevLSN: tx.lastLSN.load()})
 	if err := db.rollback(tx.w, tx.id, tx.lastLSN.load()); err != nil {
 		return err
 	}
-	db.log.Append(wal.Record{Type: wal.RecEnd, TxID: tx.id})
+	endLSN := db.log.Append(wal.Record{Type: wal.RecEnd, TxID: tx.id})
 	tx.status = txAborted
+	if db.vs != nil && len(tx.held) > 0 {
+		// Stamp pending before-images with the end-record LSN rather than
+		// dropping them. The entry's claim — "before this LSN the value
+		// was the before-image" — is exactly what the rollback restored,
+		// so it is true for aborts too, and it must stay in the chain: a
+		// snapshot reader may have copied heap state containing this
+		// transaction's uncommitted writes just before the rollback, and
+		// only the chain entry stops it from resolving them (snapshots
+		// pinned before this abort have S < endLSN and get the override;
+		// later ones read the restored heap). The entry prunes normally
+		// once no snapshot predates the abort. Stamping happens after the
+		// heap rollback and before locks release, so the next writer's
+		// entries still land strictly newer.
+		db.vs.stampCommitted(tx.held, tx.id, endLSN)
+	}
+	if tx.lockConflict {
+		db.abortsLock.Add(1)
+	} else {
+		db.abortsExplicit.Add(1)
+	}
 	tx.releaseLocks()
 	db.txMu.Lock()
 	delete(db.active, tx.id)

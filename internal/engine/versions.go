@@ -1,0 +1,407 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ipa/internal/core"
+	"ipa/internal/wal"
+)
+
+// This file implements the MVCC version store behind Options.MVCC:
+// snapshot readers resolve tuples through per-RID before-image chains
+// instead of the no-wait lock table, so long analytical scans never
+// block writers and never abort (the reader-vs-writer abort class the
+// no-wait protocol otherwise pays under skew).
+//
+// Design notes:
+//
+//   - Versions are BEFORE-images. A chain entry tagged with commit LSN C
+//     means "before C, the tuple's value was entry.data" (absent=true
+//     means "before C there was no tuple in this slot"). The heap page
+//     always holds the newest committed-or-pending state; the chain
+//     holds history. Before-images are already materialised on every
+//     update for the WAL's undo records, so installing them here is one
+//     extra slice reference, not a copy of a copy.
+//
+//   - Writers install a PENDING entry (commit==0, owner==txID) at the
+//     chain head while holding the page's exclusive frame latch — the
+//     same latch that orders the heap mutation and the WAL append — so
+//     a snapshot reader that observes the modified heap tuple is
+//     guaranteed to find the covering before-image in the chain.
+//     Commit stamps the pending entry with the commit LSN before locks
+//     release; abort drops it after the heap rollback, also before
+//     locks release. Per-RID writers serialise on the tuple lock, so a
+//     chain has at most one pending entry and stamped entries are in
+//     descending commit-LSN order.
+//
+//   - Snapshot visibility: a reader pinned at snapshot LSN S must see
+//     the tuple state as of S. Resolution returns the before-image of
+//     the OLDEST chain entry whose commit LSN is > S (pending counts as
+//     +infinity); if no entry is newer than S, the heap tuple itself is
+//     the answer.
+//
+//   - Snapshot LSNs and commit visibility: the commit record's LSN is
+//     allocated and registered in an in-flight set atomically (both
+//     under vs.mu), and deregistered only after every owned chain entry
+//     is stamped. BeginSnapshot pins S = min(in-flight)-1 (or the log
+//     head when none are in flight) under the same mutex, so every
+//     commit <= S is fully stamped and fully visible — a snapshot can
+//     never observe a half-stamped transaction.
+//
+//   - Pruning: a background reaper (same doorbell/drain pattern as the
+//     PR 3 maintenance goroutine) trims every chain suffix whose commit
+//     LSN is <= the prune bound: min(active snapshot LSNs, in-flight
+//     commit LSNs - 1), or the log head when both sets are empty.
+//     Pending entries are never pruned.
+type versionStore struct {
+	shards [versionShards]versionShard
+
+	// mu guards the snapshot/commit visibility state below.
+	mu       sync.Mutex
+	inflight map[core.LSN]int    // commit LSNs appended but not yet fully stamped
+	snaps    map[uint64]core.LSN // active snapshot LSN by tx id
+
+	// Monotonic counters (see MVCCStats).
+	live      atomic.Int64
+	installed atomic.Uint64
+	pruned    atomic.Uint64
+	pruneRuns atomic.Uint64
+	snapsEver atomic.Uint64
+	snapReads atomic.Uint64
+	snapScans atomic.Uint64
+
+	// sinceReap counts stamped versions since the last reaper poke; the
+	// reaper is also poked whenever a snapshot ends (the prune bound may
+	// have advanced past retained history).
+	sinceReap atomic.Uint64
+
+	reapCh   chan struct{}
+	reapStop chan struct{}
+	reapWG   sync.WaitGroup
+}
+
+const (
+	versionShards = 64
+	// reapBatch is how many newly stamped versions accumulate before the
+	// reaper is poked. Small enough to keep chains short under write
+	// pressure, large enough to amortise the full-store sweep.
+	reapBatch = 1024
+)
+
+type versionShard struct {
+	mu     sync.Mutex
+	chains map[core.RID]*versionChain
+}
+
+// versionChain holds a RID's history, newest first: entries[0] may be
+// the single pending entry; stamped entries follow in strictly
+// descending commit-LSN order.
+type versionChain struct {
+	entries []version
+}
+
+// version is one before-image. commit==0 marks a pending entry owned by
+// the in-flight transaction owner; stamped entries have owner 0.
+type version struct {
+	commit core.LSN
+	owner  uint64
+	data   []byte
+	absent bool // the tuple did not exist before the tagged change
+}
+
+func newVersionStore() *versionStore {
+	vs := &versionStore{
+		inflight: make(map[core.LSN]int),
+		snaps:    make(map[uint64]core.LSN),
+		reapCh:   make(chan struct{}, 1),
+	}
+	for i := range vs.shards {
+		vs.shards[i].chains = make(map[core.RID]*versionChain)
+	}
+	return vs
+}
+
+func (vs *versionStore) shard(rid core.RID) *versionShard {
+	h := uint64(rid.Page)*0x9e3779b97f4a7c15 + uint64(rid.Slot)
+	return &vs.shards[(h>>32)&(versionShards-1)]
+}
+
+// installPending records the before-image of rid under the writing
+// transaction. The caller holds the page's exclusive frame latch and
+// the tuple's lock. Idempotent per (rid, owner): only the first write a
+// transaction makes to a tuple contributes the before-image — later
+// writes by the same transaction refine an uncommitted state no
+// snapshot may see.
+func (vs *versionStore) installPending(rid core.RID, owner uint64, before []byte, absent bool) {
+	sh := vs.shard(rid)
+	sh.mu.Lock()
+	ch := sh.chains[rid]
+	if ch == nil {
+		ch = &versionChain{}
+		sh.chains[rid] = ch
+	}
+	if len(ch.entries) > 0 && ch.entries[0].commit == 0 {
+		// Already pending. The tuple lock guarantees the owner matches.
+		sh.mu.Unlock()
+		return
+	}
+	ch.entries = append([]version{{owner: owner, data: before, absent: absent}}, ch.entries...)
+	sh.mu.Unlock()
+	vs.live.Add(1)
+	vs.installed.Add(1)
+}
+
+// stampCommitted tags the transaction's pending entries with its commit
+// LSN. Runs after the commit record is appended (and registered
+// in-flight) and before locks release. The abort path reuses it with
+// the end-record LSN: the before-image is exactly what the rollback
+// restored, so the stamped entry stays true, and a snapshot reader that
+// copied pre-rollback heap state still resolves the committed value.
+func (vs *versionStore) stampCommitted(rids []core.RID, owner uint64, commit core.LSN) {
+	var stamped uint64
+	for _, rid := range rids {
+		sh := vs.shard(rid)
+		sh.mu.Lock()
+		if ch := sh.chains[rid]; ch != nil && len(ch.entries) > 0 {
+			if e := &ch.entries[0]; e.commit == 0 && e.owner == owner {
+				e.commit = commit
+				e.owner = 0
+				stamped++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if vs.sinceReap.Add(stamped) >= reapBatch {
+		vs.sinceReap.Store(0)
+		vs.pokeReaper()
+	}
+}
+
+// resolve answers "what did rid hold at snapshot S?". override reports
+// whether the chain supplies the answer: if true, data/absent are the
+// tuple state at S (data is safe to retain — entries are immutable once
+// installed). If false, the current heap tuple is the answer.
+func (vs *versionStore) resolve(rid core.RID, snap core.LSN) (data []byte, absent, override bool) {
+	sh := vs.shard(rid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ch := sh.chains[rid]
+	if ch == nil {
+		return nil, false, false
+	}
+	// Entries are newest-first; find the oldest one newer than snap.
+	for i := len(ch.entries) - 1; i >= 0; i-- {
+		e := ch.entries[i]
+		if e.commit == 0 || e.commit > snap {
+			return e.data, e.absent, true
+		}
+	}
+	return nil, false, false
+}
+
+// beginSnapshot pins a snapshot LSN for the transaction. head is
+// consulted only when no commit is in flight (the log's own mutex nests
+// under vs.mu here and in commitAppend — the single allowed order).
+func (vs *versionStore) beginSnapshot(txID uint64, head func() core.LSN) core.LSN {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	var s core.LSN
+	if len(vs.inflight) == 0 {
+		s = head()
+	} else {
+		first := true
+		for lsn := range vs.inflight {
+			if first || lsn-1 < s {
+				s = lsn - 1
+				first = false
+			}
+		}
+	}
+	vs.snaps[txID] = s
+	vs.snapsEver.Add(1)
+	return s
+}
+
+// endSnapshot releases the transaction's snapshot pin and pokes the
+// reaper (the prune bound may have advanced).
+func (vs *versionStore) endSnapshot(txID uint64) {
+	vs.mu.Lock()
+	_, had := vs.snaps[txID]
+	delete(vs.snaps, txID)
+	vs.mu.Unlock()
+	if had {
+		vs.pokeReaper()
+	}
+}
+
+// commitAppend appends the transaction's commit record and registers
+// its LSN in-flight in one atomic step, so no snapshot can pin an LSN
+// that covers a not-yet-stamped commit.
+func (vs *versionStore) commitAppend(log *wal.Log, txID uint64, prev core.LSN) core.LSN {
+	vs.mu.Lock()
+	lsn := log.Append(wal.Record{Type: wal.RecCommit, TxID: txID, PrevLSN: prev})
+	vs.inflight[lsn]++
+	vs.mu.Unlock()
+	return lsn
+}
+
+// finishCommit deregisters a fully stamped commit.
+func (vs *versionStore) finishCommit(lsn core.LSN) {
+	vs.mu.Lock()
+	if vs.inflight[lsn]--; vs.inflight[lsn] <= 0 {
+		delete(vs.inflight, lsn)
+	}
+	vs.mu.Unlock()
+}
+
+// pruneBound computes the newest commit LSN whose before-images are no
+// longer needed: everything at or below min(active snapshots, in-flight
+// commits - 1) is invisible to every current and future snapshot.
+func (vs *versionStore) pruneBound(head core.LSN) core.LSN {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	bound := head
+	for lsn := range vs.inflight {
+		if lsn-1 < bound {
+			bound = lsn - 1
+		}
+	}
+	for _, s := range vs.snaps {
+		if s < bound {
+			bound = s
+		}
+	}
+	return bound
+}
+
+// prune trims every chain's suffix of entries with commit <= bound.
+// Pending entries (commit==0) are never touched. Returns how many
+// versions were released.
+func (vs *versionStore) prune(bound core.LSN) uint64 {
+	var removed uint64
+	for i := range vs.shards {
+		sh := &vs.shards[i]
+		sh.mu.Lock()
+		for rid, ch := range sh.chains {
+			// Newest-first and descending: find the first stamped entry at
+			// or below the bound; it and everything after it can go.
+			cut := -1
+			for j, e := range ch.entries {
+				if e.commit != 0 && e.commit <= bound {
+					cut = j
+					break
+				}
+			}
+			if cut < 0 {
+				continue
+			}
+			removed += uint64(len(ch.entries) - cut)
+			if cut == 0 {
+				delete(sh.chains, rid)
+			} else {
+				ch.entries = ch.entries[:cut:cut]
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		vs.live.Add(-int64(removed))
+		vs.pruned.Add(removed)
+	}
+	return removed
+}
+
+// pokeReaper wakes the reaper without blocking (capacity-1 doorbell; a
+// pending poke already covers later ones).
+func (vs *versionStore) pokeReaper() {
+	select {
+	case vs.reapCh <- struct{}{}:
+	default:
+	}
+}
+
+// startReaper launches the background prune goroutine. Called from
+// engine.New and from SimulateCrash when it reopens a closed instance.
+func (vs *versionStore) startReaper(head func() core.LSN) {
+	stop := make(chan struct{})
+	vs.reapStop = stop
+	vs.reapWG.Add(1)
+	go func() {
+		defer vs.reapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-vs.reapCh:
+			}
+			vs.pruneRuns.Add(1)
+			vs.prune(vs.pruneBound(head()))
+		}
+	}()
+}
+
+// stopReaper drains the reaper deterministically (DB.Close).
+func (vs *versionStore) stopReaper() {
+	if vs.reapStop == nil {
+		return
+	}
+	close(vs.reapStop)
+	vs.reapWG.Wait()
+	vs.reapStop = nil
+}
+
+// reset throws away all volatile MVCC state — chains, snapshot pins and
+// in-flight commits — for SimulateCrash. Before-images only shadow
+// uncommitted or superseded heap state, so an empty store after restart
+// recovery is consistent: recovery rolls uncommitted changes back on
+// the heap itself, and new snapshots simply start from live state.
+// Cumulative counters survive (they are observability, not state).
+func (vs *versionStore) reset() {
+	vs.mu.Lock()
+	vs.inflight = make(map[core.LSN]int)
+	vs.snaps = make(map[uint64]core.LSN)
+	vs.mu.Unlock()
+	for i := range vs.shards {
+		sh := &vs.shards[i]
+		sh.mu.Lock()
+		sh.chains = make(map[core.RID]*versionChain)
+		sh.mu.Unlock()
+	}
+	vs.live.Store(0)
+	vs.sinceReap.Store(0)
+}
+
+// MVCCStats reports version-store observability counters (zero value
+// with Enabled=false when Options.MVCC is off).
+type MVCCStats struct {
+	Enabled           bool
+	VersionsLive      int64  // before-images currently retained
+	VersionsInstalled uint64 // pending entries ever installed
+	VersionsPruned    uint64 // entries released by the reaper
+	PruneRuns         uint64 // reaper sweeps
+	SnapshotsStarted  uint64 // BeginSnapshot calls
+	SnapshotsActive   int    // currently pinned snapshots
+	SnapshotReads     uint64 // point reads resolved at a snapshot
+	SnapshotScans     uint64 // table scans resolved at a snapshot
+}
+
+func (vs *versionStore) stats() MVCCStats {
+	if vs == nil {
+		return MVCCStats{}
+	}
+	vs.mu.Lock()
+	active := len(vs.snaps)
+	vs.mu.Unlock()
+	return MVCCStats{
+		Enabled:           true,
+		VersionsLive:      vs.live.Load(),
+		VersionsInstalled: vs.installed.Load(),
+		VersionsPruned:    vs.pruned.Load(),
+		PruneRuns:         vs.pruneRuns.Load(),
+		SnapshotsStarted:  vs.snapsEver.Load(),
+		SnapshotsActive:   active,
+		SnapshotReads:     vs.snapReads.Load(),
+		SnapshotScans:     vs.snapScans.Load(),
+	}
+}

@@ -246,6 +246,7 @@ func All(p Params) (string, error) {
 		{"fig9", Fig9}, {"fig10", Fig10}, {"longevity", Longevity},
 		{"schemes", Schemes},
 		{"index", Index},
+		{"htap", HTAP},
 	}
 	var b strings.Builder
 	for _, e := range exps {
@@ -302,6 +303,8 @@ func ByID(id string, p Params) (*Table, error) {
 		return Schemes(p)
 	case "index":
 		return Index(p)
+	case "htap":
+		return HTAP(p)
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q", id)
 	}

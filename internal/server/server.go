@@ -81,6 +81,10 @@ type Counters struct {
 	Requests       uint64 `json:"requests"`
 	BusyRejected   uint64 `json:"busy_rejected"`
 	OrphansAborted uint64 `json:"orphans_aborted"`
+	// PoisonedAborts counts transactions the server aborted because an
+	// earlier pipelined op failed (the engine tallies these as explicit
+	// aborts; this counter attributes them to poisoning specifically).
+	PoisonedAborts uint64 `json:"poisoned_aborts"`
 	Draining       bool   `json:"draining"`
 }
 
@@ -115,6 +119,7 @@ type Server struct {
 	requests       atomic.Uint64
 	busyRejected   atomic.Uint64
 	orphansAborted atomic.Uint64
+	poisonedAborts atomic.Uint64
 }
 
 // New builds a server around an open database.
@@ -294,6 +299,7 @@ func (s *Server) StatsDocument() (StatsDocument, error) {
 			Requests:       s.requests.Load(),
 			BusyRejected:   s.busyRejected.Load(),
 			OrphansAborted: s.orphansAborted.Load(),
+			PoisonedAborts: s.poisonedAborts.Load(),
 			Draining:       s.draining.Load(),
 		},
 	}, nil

@@ -25,6 +25,14 @@ import (
 // run on: 8 SLC chips, IPA [2x3] on the data region, 1 KiB pages.
 func newStack(tb testing.TB) (*engine.DB, *sim.Timeline) {
 	tb.Helper()
+	return newStackOpts(tb, engine.Options{PageSize: 1024, BufferFrames: 512})
+}
+
+// newStackOpts is newStack with caller-chosen engine options (the
+// snapshot tests need MVCC on). PageSize must stay 1024 and Timeline is
+// filled in here.
+func newStackOpts(tb testing.TB, opts engine.Options) (*engine.DB, *sim.Timeline) {
+	tb.Helper()
 	g := flash.Geometry{
 		Chips: 8, BlocksPerChip: 128, PagesPerBlock: 32,
 		PageSize: 1024, OOBSize: 64, Cell: flash.SLC,
@@ -43,9 +51,8 @@ func newStack(tb testing.TB) (*engine.DB, *sim.Timeline) {
 	}); err != nil {
 		tb.Fatal(err)
 	}
-	db, err := engine.New(dev, engine.Options{
-		PageSize: 1024, BufferFrames: 512, Timeline: tl,
-	})
+	opts.Timeline = tl
+	db, err := engine.New(dev, opts)
 	if err != nil {
 		tb.Fatal(err)
 	}

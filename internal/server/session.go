@@ -117,6 +117,9 @@ func (s *session) finish() {
 		delete(s.txs, id)
 		if err := tx.Abort(); err == nil {
 			s.srv.orphansAborted.Add(1)
+			if _, poisoned := s.poison[id]; poisoned {
+				s.srv.poisonedAborts.Add(1)
+			}
 		}
 	}
 	s.flush()
@@ -175,7 +178,8 @@ func (s *session) handle(f wire.Frame) {
 func (s *session) txExempt(f wire.Frame) bool {
 	switch f.Kind {
 	case wire.OpCommit, wire.OpAbort, wire.OpInsert,
-		wire.OpUpdate, wire.OpUpdateField, wire.OpDelete:
+		wire.OpUpdate, wire.OpUpdateField, wire.OpDelete,
+		wire.OpSnapshotRead, wire.OpSnapshotScan:
 	default:
 		return false
 	}
@@ -205,7 +209,10 @@ func fail(err error) (byte, []byte) {
 		status = wire.StatusNoTable
 	case errors.Is(err, engine.ErrNoTuple):
 		status = wire.StatusNoTuple
-	case errors.Is(err, wire.ErrBadRequest):
+	case errors.Is(err, wire.ErrBadRequest),
+		errors.Is(err, engine.ErrMVCCDisabled),
+		errors.Is(err, engine.ErrReadOnlyTx),
+		errors.Is(err, engine.ErrNotSnapshot):
 		status = wire.StatusBadRequest
 	default:
 		status = wire.StatusInternal
@@ -275,7 +282,9 @@ func (s *session) exec(f wire.Frame) (byte, []byte) {
 		if poisoned {
 			reason := s.poison[id]
 			delete(s.poison, id)
-			_ = tx.Abort()
+			if tx.Abort() == nil {
+				s.srv.poisonedAborts.Add(1)
+			}
 			if f.Kind == wire.OpAbort {
 				return wire.StatusOK, nil
 			}
@@ -396,6 +405,88 @@ func (s *session) exec(f wire.Frame) (byte, []byte) {
 		payload[1] = byte(count >> 16)
 		payload[2] = byte(count >> 8)
 		payload[3] = byte(count)
+		return wire.StatusOK, payload
+
+	case wire.OpBeginSnapshot:
+		id := r.Uint64()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		if _, open := s.txs[id]; open {
+			return wire.StatusBadRequest, errPayload("txid already open on this connection")
+		}
+		tx, err := s.srv.db.BeginSnapshot(s.w)
+		if err != nil {
+			return fail(err)
+		}
+		s.txs[id] = tx
+		return wire.StatusOK, wire.NewBuilder(8).Uint64(uint64(tx.SnapshotLSN())).Bytes()
+
+	case wire.OpSnapshotRead:
+		id, name, rid := r.Uint64(), r.String(), r.RID()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		tx, ok, poisoned := s.tx(id)
+		if !ok {
+			return fail(engine.ErrTxClosed)
+		}
+		if poisoned {
+			return wire.StatusTxPoisoned, errPayload(s.poison[id])
+		}
+		tbl, err := s.table(name)
+		if err != nil {
+			return fail(err)
+		}
+		// Snapshot reads never poison: a miss (ErrNoTuple) or decode slip
+		// leaves the snapshot transaction usable, because reads mutate
+		// nothing and cannot half-apply.
+		data, err := tbl.ReadSnapshot(tx, coreRID(rid))
+		if err != nil {
+			return fail(err)
+		}
+		return wire.StatusOK, wire.NewBuilder(len(data) + 4).Blob(data).Bytes()
+
+	case wire.OpSnapshotScan:
+		id, name, limit := r.Uint64(), r.String(), r.Uint32()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		tx, ok, poisoned := s.tx(id)
+		if !ok {
+			return fail(engine.ErrTxClosed)
+		}
+		if poisoned {
+			return wire.StatusTxPoisoned, errPayload(s.poison[id])
+		}
+		tbl, err := s.table(name)
+		if err != nil {
+			return fail(err)
+		}
+		budget := s.srv.cfg.MaxFrame - 256
+		b := wire.NewBuilder(4096)
+		b.Uint32(0)
+		var count uint32
+		var truncated bool
+		err = tbl.ScanSnapshot(tx, func(rid core.RID, tuple []byte) bool {
+			if len(b.Bytes())+14+len(tuple) > budget {
+				truncated = true
+				return false
+			}
+			b.RID(netRID(rid)).Blob(tuple)
+			count++
+			return limit == 0 || count < limit
+		})
+		if err != nil {
+			return fail(err)
+		}
+		if truncated {
+			return wire.StatusBadRequest, errPayload(fmt.Sprintf(
+				"scan response would exceed the %d-byte frame limit; retry with a smaller limit",
+				s.srv.cfg.MaxFrame))
+		}
+		payload := b.Bytes()
+		binary.BigEndian.PutUint32(payload[:4], count)
 		return wire.StatusOK, payload
 
 	case wire.OpStats:

@@ -26,6 +26,15 @@
 //	             scan that would exceed it fails BAD_REQUEST)
 //	STATS        —                                → JSON bytes (server stats document)
 //	PING         —                                → —
+//	BEGIN_SNAPSHOT txid u64                       → snapshot LSN u64
+//	SNAPREAD     txid u64, table str, rid         → data bytes
+//	SNAPSCAN     txid u64, table str, limit u32   → count u32, count×(rid, data bytes)
+//
+// The snapshot ops require the server's engine to run with MVCC
+// enabled; BEGIN_SNAPSHOT pins a read-only snapshot transaction whose
+// reads and scans resolve through the version store (stable across the
+// whole transaction, never aborted by writer locks). COMMIT/ABORT end
+// it like any other transaction.
 //
 // where `str` is uint16 length + bytes, `bytes` is uint32 length +
 // bytes, and `rid` is page u64 + slot u16. Error responses carry the
@@ -58,6 +67,9 @@ const (
 	OpScan
 	OpStats
 	OpPing
+	OpBeginSnapshot
+	OpSnapshotRead
+	OpSnapshotScan
 )
 
 // OpName returns the wire name of an opcode (used as the metrics key of
@@ -86,6 +98,12 @@ func OpName(op byte) string {
 		return "STATS"
 	case OpPing:
 		return "PING"
+	case OpBeginSnapshot:
+		return "BEGIN_SNAPSHOT"
+	case OpSnapshotRead:
+		return "SNAPREAD"
+	case OpSnapshotScan:
+		return "SNAPSCAN"
 	default:
 		return fmt.Sprintf("OP(%d)", op)
 	}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"testing"
+
+	"ipa/internal/core"
+	"ipa/internal/engine"
+	"ipa/internal/flash"
+	"ipa/internal/noftl"
+	"ipa/internal/sim"
+)
+
+// newHTAPDB is the MVCC-enabled variant of the concurrent-terminal rig.
+func newHTAPDB(tb testing.TB, frames, poolShards int) (*engine.DB, *sim.Timeline) {
+	tb.Helper()
+	g := flash.Geometry{
+		Chips: 16, BlocksPerChip: 64, PagesPerBlock: 32,
+		PageSize: 1024, OOBSize: 64, Cell: flash.SLC,
+	}
+	tl := sim.NewTimeline(g.Chips)
+	arr, err := flash.New(flash.Config{
+		Geometry: g, Timing: flash.SLCTiming(), StrictProgramOrder: true, MaxAppends: 8,
+	}, tl)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dev := noftl.Open(arr)
+	if _, err := dev.CreateRegion(noftl.RegionConfig{
+		Name: "main", Mode: noftl.ModeSLC, Scheme: core.NewScheme(2, 4),
+		BlocksPerChip: 64, OverProvision: 0.15,
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	db, err := engine.New(dev, engine.Options{
+		PageSize: 1024, BufferFrames: frames, Timeline: tl,
+		LogCapacity: 1 << 20, LogReclaimThreshold: 0.4,
+		PoolShards: poolShards, MVCC: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return db, tl
+}
+
+// runHTAP loads the driver and runs it over parallel terminals.
+func runHTAP(t *testing.T, h *HTAP, tl *sim.Timeline, workers, total int) Results {
+	t.Helper()
+	loader := tl.NewWorker()
+	if err := h.Load(loader); err != nil {
+		t.Fatal(err)
+	}
+	terminals := make([]*sim.Worker, workers)
+	for i := range terminals {
+		terminals[i] = tl.NewWorker()
+		terminals[i].SetNow(loader.Now())
+	}
+	res, err := RunParallel(h, terminals, total, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestHTAPSnapshotConsistency is the MVCC consistency audit, run under
+// -race by the tier-1 suite: full-table snapshot scans race Zipfian
+// TPC-B writers on real concurrent terminals, and every scan checks the
+// balance-sum invariant frozen at its snapshot LSN (a violation is a
+// terminal error, failing the run). Snapshot scans must never abort.
+func TestHTAPSnapshotConsistency(t *testing.T) {
+	db, tl := newHTAPDB(t, 1024, 8)
+	defer db.Close()
+	h := NewHTAP(db, "main", 4, 250)
+	h.Mode = ScanModeSnapshot
+	h.ScanEvery = 20
+	h.Zipfian = true
+
+	res := runHTAP(t, h, tl, 8, 1200)
+	if res.Transactions == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if h.ScansRun.Load() == 0 {
+		t.Fatal("no balance scan completed; the audit never ran")
+	}
+	if n := res.AbortedPerType["BalanceScan"]; n != 0 {
+		t.Fatalf("%d snapshot scans aborted; snapshot reads must never abort", n)
+	}
+	st, err := db.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.MVCC.Enabled || st.MVCC.SnapshotsStarted == 0 || st.MVCC.SnapshotScans == 0 {
+		t.Fatalf("MVCC counters not advancing: %+v", st.MVCC)
+	}
+	// The store must not leak pinned snapshots after the run.
+	if st.MVCC.SnapshotsActive != 0 {
+		t.Fatalf("%d snapshots still active after run", st.MVCC.SnapshotsActive)
+	}
+}
+
+// TestHTAPLockingScanAudit runs the same audit with locking scans: a
+// scan that completes held every tuple lock at once, so its sums form a
+// consistent cut and the invariant must hold there too; scans that lose
+// the no-wait race abort and are counted per type, never fatal.
+func TestHTAPLockingScanAudit(t *testing.T) {
+	db, tl := newHTAPDB(t, 1024, 8)
+	defer db.Close()
+	h := NewHTAP(db, "main", 4, 250)
+	h.Mode = ScanModeLocking
+	h.ScanEvery = 20
+	h.Zipfian = true
+
+	res := runHTAP(t, h, tl, 8, 1200)
+	if res.Transactions == 0 {
+		t.Fatal("no transactions committed")
+	}
+	scans := h.ScansRun.Load() + res.AbortedPerType["BalanceScan"]
+	if scans == 0 {
+		t.Fatal("no balance scan attempted")
+	}
+	if res.Transactions+res.Aborted != 1200 {
+		t.Fatalf("committed %d + aborted %d != 1200", res.Transactions, res.Aborted)
+	}
+}
+
+// TestHTAPSequentialInvariant: single-terminal deterministic run in both
+// scan modes — no concurrency, so every scan must complete and verify.
+func TestHTAPSequentialInvariant(t *testing.T) {
+	for _, mode := range []ScanMode{ScanModeLocking, ScanModeSnapshot} {
+		t.Run(mode.String(), func(t *testing.T) {
+			db, tl := newHTAPDB(t, 512, 0)
+			defer db.Close()
+			h := NewHTAP(db, "main", 2, 100)
+			h.Mode = mode
+			h.ScanEvery = 10
+			loader := tl.NewWorker()
+			if err := h.Load(loader); err != nil {
+				t.Fatal(err)
+			}
+			w := tl.NewWorker()
+			w.SetNow(loader.Now())
+			res, err := Run(h, []*sim.Worker{w}, 200, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Aborted != 0 {
+				t.Fatalf("%d aborts in a single-terminal run", res.Aborted)
+			}
+			if h.ScansRun.Load() == 0 {
+				t.Fatal("no balance scan ran")
+			}
+		})
+	}
+}

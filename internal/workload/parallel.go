@@ -40,8 +40,9 @@ func RunParallel(wl Workload, terminals []*sim.Worker, txTotal int, seed int64) 
 	// path except the shared latency recorders, which are internally
 	// synchronised).
 	type tally struct {
-		committed uint64
-		aborted   uint64
+		committed     uint64
+		aborted       uint64
+		abortedByType map[string]uint64
 	}
 	tallies := make([]tally, len(terminals))
 	errs := make([]error, len(terminals))
@@ -76,6 +77,10 @@ func RunParallel(wl Workload, terminals []*sim.Worker, txTotal int, seed int64) 
 				if err != nil {
 					if errors.Is(err, engine.ErrLockConflict) {
 						tallies[t].aborted++
+						if tallies[t].abortedByType == nil {
+							tallies[t].abortedByType = make(map[string]uint64)
+						}
+						tallies[t].abortedByType[name]++
 						continue
 					}
 					errs[t] = err
@@ -104,6 +109,12 @@ func RunParallel(wl Workload, terminals []*sim.Worker, txTotal int, seed int64) 
 		}
 		res.Transactions += tallies[t].committed
 		res.Aborted += tallies[t].aborted
+		for name, n := range tallies[t].abortedByType {
+			if res.AbortedPerType == nil {
+				res.AbortedPerType = make(map[string]uint64)
+			}
+			res.AbortedPerType[name] += n
+		}
 	}
 	var end sim.Time
 	for i := range terminals {

@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ipa/internal/core"
 	"ipa/internal/engine"
@@ -24,6 +25,12 @@ type TPCB struct {
 	Branches          int
 	AccountsPerBranch int
 
+	// Zipfian skews the account choice (ZipfS steepness, default 1.1
+	// when zero) instead of TPC-B's uniform draw — the hot-account
+	// contention the HTAP benchmark uses to provoke no-wait aborts.
+	Zipfian bool
+	ZipfS   float64
+
 	branch, teller, account, history *engine.Table
 	accountIdx                       engine.Index
 
@@ -33,6 +40,11 @@ type TPCB struct {
 	schAcct *engine.Schema // aid(4) bid(4) balance(8) filler(84)
 	schCtl  *engine.Schema // id(4) bid(4) balance(8) filler(84)
 	schHist *engine.Schema // aid(4) tid(4) bid(4) delta(8) time(8)
+
+	// zipfs caches one Zipf generator per terminal RNG (rand.Zipf is
+	// not safe for concurrent use; seeding from the terminal's rng keeps
+	// runs deterministic per terminal).
+	zipfs sync.Map // *rand.Rand -> *Zipf
 }
 
 // NewTPCB constructs a driver; Load must be called before RunOne.
@@ -128,10 +140,27 @@ func (b *TPCB) Load(w *sim.Worker) error {
 	return db.FlushAll(w)
 }
 
+// pickAccount draws an account id, uniform by default or Zipfian when
+// configured.
+func (b *TPCB) pickAccount(rng *rand.Rand) uint64 {
+	if b.Zipfian {
+		zi, ok := b.zipfs.Load(rng)
+		if !ok {
+			s := b.ZipfS
+			if s == 0 {
+				s = 1.1
+			}
+			zi, _ = b.zipfs.LoadOrStore(rng, NewZipf(rng, s, uint64(b.Accounts())))
+		}
+		return zi.(*Zipf).Next() + 1
+	}
+	return uint64(rng.Intn(b.Accounts()) + 1)
+}
+
 // RunOne executes one Account_Update transaction.
 func (b *TPCB) RunOne(w *sim.Worker, rng *rand.Rand) (string, error) {
 	db := b.DB
-	aid := uint64(rng.Intn(b.Accounts()) + 1)
+	aid := b.pickAccount(rng)
 	tellerIdx := rng.Intn(len(b.tellerRIDs))
 	branchIdx := tellerIdx / 10
 	delta := uint64(rng.Intn(16_000_000) + 1) // spans the 4 low-order balance bytes
@@ -148,8 +177,9 @@ func (b *TPCB) RunOne(w *sim.Worker, rng *rand.Rand) (string, error) {
 		return "Account_Update", err
 	}
 	// Account balance += delta (4-8 net bytes; small delta touches the
-	// low-order bytes only).
-	cur, err := b.account.Read(w, arid)
+	// low-order bytes only). Read under the tuple lock so the
+	// read-modify-write is atomic against concurrent terminals.
+	cur, err := b.account.ReadLocked(tx, arid)
 	if err != nil {
 		tx.Abort()
 		return "Account_Update", err
@@ -165,7 +195,7 @@ func (b *TPCB) RunOne(w *sim.Worker, rng *rand.Rand) (string, error) {
 		if i == 1 {
 			tbl = b.branch
 		}
-		row, err := tbl.Read(w, rid)
+		row, err := tbl.ReadLocked(tx, rid)
 		if err != nil {
 			tx.Abort()
 			return "Account_Update", err

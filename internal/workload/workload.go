@@ -41,6 +41,10 @@ type Results struct {
 	Throughput   float64 // transactions per simulated second
 	TxLatency    *metrics.Latency
 	PerType      map[string]*metrics.Latency
+	// AbortedPerType splits Aborted by the transaction type that lost
+	// its no-wait lock race (RunParallel only) — how the HTAP benchmark
+	// separates writer aborts from read-path (scan) aborts.
+	AbortedPerType map[string]uint64
 }
 
 // RunForDuration executes transactions round-robin until every

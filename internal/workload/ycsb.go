@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -105,6 +106,12 @@ type YCSB struct {
 	ScanLen int  // keys visited per scan (default 20)
 	Zipfian bool // Zipfian instead of uniform key choice
 	ZipfS   float64
+
+	// SnapshotScan runs each scan as an MVCC snapshot transaction: the
+	// index supplies the RID range, and every tuple is resolved through
+	// the version store at the pinned snapshot LSN instead of the heap's
+	// latest state. Requires the DB to run with MVCC enabled.
+	SnapshotScan bool
 
 	// Kind selects the index implementation under test.
 	Kind engine.IndexKind
@@ -302,13 +309,31 @@ func (y *YCSB) RunOne(w *sim.Worker, rng *rand.Rand) (string, error) {
 		if limit <= 0 {
 			limit = 20
 		}
-		n := 0
+		var rids []core.RID
 		y.indexSharedBegin(w)
 		err := y.idx.Range(w, lo, ^uint64(0)>>1, func(key uint64, rid core.RID) bool {
-			n++
-			return n < limit
+			rids = append(rids, rid)
+			return len(rids) < limit
 		})
 		y.indexSharedEnd(w)
-		return "Scan", err
+		if err != nil || !y.SnapshotScan {
+			return "Scan", err
+		}
+		// Snapshot mode: resolve each scanned tuple through the version
+		// store at a pinned LSN — lock-free, abort-free stable reads.
+		tx, err := y.DB.BeginSnapshot(w)
+		if err != nil {
+			return "Scan", err
+		}
+		for _, rid := range rids {
+			if _, err := y.table.ReadSnapshot(tx, rid); err != nil {
+				if errors.Is(err, engine.ErrNoTuple) {
+					continue // drawn concurrently with an in-flight insert
+				}
+				tx.Abort()
+				return "Scan", err
+			}
+		}
+		return "Scan", tx.Commit()
 	}
 }

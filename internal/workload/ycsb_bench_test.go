@@ -71,21 +71,32 @@ func BenchmarkIndexYCSB(b *testing.B) {
 		name                 string
 		read, update, insert int
 		zipf                 bool
+		snap                 bool
 	}{
-		{"readheavy-uniform", 95, 0, 5, false},
-		{"readheavy-zipf", 95, 0, 5, true},
-		{"balanced-uniform", 50, 25, 25, false},
-		{"scanheavy-uniform", 0, 5, 5, false}, // remaining 90% scans
+		{"readheavy-uniform", 95, 0, 5, false, false},
+		{"readheavy-zipf", 95, 0, 5, true, false},
+		{"balanced-uniform", 50, 25, 25, false, false},
+		{"scanheavy-uniform", 0, 5, 5, false, false}, // remaining 90% scans
+		// read80/scan20 with every scan resolving its tuples through the
+		// MVCC version store at a pinned snapshot LSN.
+		{"snapscan-zipf", 80, 0, 0, true, true},
 	}
 	for _, kind := range []engine.IndexKind{engine.IndexCoarse, engine.IndexOLC} {
 		for _, mix := range mixes {
 			for _, workers := range []int{1, 4, 16} {
 				name := fmt.Sprintf("tree=%s/mix=%s/workers=%d", kind, mix.name, workers)
 				b.Run(name, func(b *testing.B) {
-					db, tl := newConcurrentDBShards(b, 512, 8)
+					var db *engine.DB
+					var tl *sim.Timeline
+					if mix.snap {
+						db, tl = newHTAPDB(b, 512, 8)
+					} else {
+						db, tl = newConcurrentDBShards(b, 512, 8)
+					}
 					y := NewYCSB(db, "main", 5000, kind)
 					y.ReadPct, y.UpdatePct, y.InsertPct = mix.read, mix.update, mix.insert
 					y.Zipfian = mix.zipf
+					y.SnapshotScan = mix.snap
 					y.LatchSim = true
 					if err := y.Load(tl.NewWorker()); err != nil {
 						b.Fatal(err)
