@@ -2,7 +2,7 @@
 # lands. `make check` is what CI (and ROADMAP.md) means by tier-1.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-olcindex bench-index bench-schemes bench-server bench-prev bench-all fmt fmt-check
+.PHONY: check vet build test race bench bench-htap bench-olcindex bench-index bench-schemes bench-server bench-prev bench-all fmt fmt-check
 
 check: fmt-check vet build race
 
@@ -26,18 +26,35 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Perf evidence for the current PR: the HTAP matrix — TPC-B writers
-# with a full-table balance scan mixed in, run scan-free (baseline),
-# with locking reads (no-wait aborts) and with MVCC snapshot reads
-# (lock-free), under uniform and Zipfian skew at 16 real terminals.
-# Every completed scan verifies the TPC-B balance-sum invariant at its
-# read point, so the run doubles as a consistency audit. Lock aborts
-# are real-time races, so the volume is sized well past the scheduler
-# slice (see RunHTAPBench); counts vary between passes but the two
-# headline gaps (scan aborts retired, writer p99 at baseline) do not.
-BENCH_OUT ?= BENCH_PR8.json
+# Perf evidence for the current PR: the scalable WAL. BenchmarkWALAppend
+# exercises the reservation-based append path bare (goroutines {1,4,16}
+# × before/after image sizes {16 B, 256 B}, with periodic group flushes
+# and ring truncations; -benchmem proves the allocation-free hot path),
+# and BenchmarkConcurrentTPCB shows the end-to-end effect on 16-worker
+# committed-work ns/op now that commits no longer serialise on a log
+# mutex. Wall-clock numbers, so the TPC-B grid runs 3 counts.
+BENCH_OUT ?= BENCH_PR9.json
 bench:
-	$(GO) run ./cmd/ipabench -exp htap -out $(BENCH_OUT)
+	rm -f /tmp/bench_wal_raw.txt
+	$(GO) test -run xxx -bench 'BenchmarkWALAppend' -benchtime 200000x \
+		-benchmem ./internal/wal/ >> /tmp/bench_wal_raw.txt
+	for i in 1 2 3; do \
+		$(GO) test -run xxx -bench 'BenchmarkConcurrentTPCB' -benchtime 3000x \
+			-benchmem ./internal/workload/ >> /tmp/bench_wal_raw.txt || exit 1; done
+	cat /tmp/bench_wal_raw.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_wal_raw.txt > $(BENCH_OUT)
+	rm -f /tmp/bench_wal_raw.txt
+
+# The HTAP matrix from the previous PR (evidence in BENCH_PR8.json):
+# TPC-B writers with a full-table balance scan mixed in, run scan-free
+# (baseline), with locking reads (no-wait aborts) and with MVCC
+# snapshot reads (lock-free), under uniform and Zipfian skew at 16 real
+# terminals. Every completed scan verifies the TPC-B balance-sum
+# invariant at its read point, so the run doubles as a consistency
+# audit.
+HTAP_BENCH_OUT ?= BENCH_PR8.json
+bench-htap:
+	$(GO) run ./cmd/ipabench -exp htap -out $(HTAP_BENCH_OUT)
 
 # The index-latching comparison from the previous PR (evidence in
 # BENCH_PR7.json): the same bare-index operation stream (point lookups

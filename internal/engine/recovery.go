@@ -41,6 +41,9 @@ func (db *DB) Recover(w *sim.Worker) (RecoveryReport, error) {
 		ended     bool
 	}
 	att := make(map[uint64]*txInfo)
+	// The scan sees exactly the contiguous published prefix of the log —
+	// the WAL guarantees no LSN gaps below its Head() — so analysis can
+	// treat the record stream as the complete, ordered history.
 	db.log.Scan(db.log.Tail(), func(r wal.Record) bool {
 		rep.AnalyzedRecords++
 		switch r.Type {

@@ -4,6 +4,7 @@ import (
 	"ipa/internal/buffer"
 	"ipa/internal/flash"
 	"ipa/internal/noftl"
+	"ipa/internal/wal"
 )
 
 // Stats is one coherent snapshot of every layer of the engine —
@@ -33,6 +34,13 @@ type Stats struct {
 	LogAbsorbed  uint64 // commits absorbed by another committer's group flush
 	LogUsedBytes uint64 // live log volume
 	LogUsage     float64
+
+	// WAL is the full log contention snapshot: append reservations,
+	// published/durable horizons, leader batches with batch-size
+	// p50/p99, absorbed followers, and ring shape. The Log* fields
+	// above remain as the stable summary; WAL carries the counters the
+	// reservation-based append path adds.
+	WAL wal.Stats
 
 	// Buffer pool (hits, misses, evictions, cleaner activity).
 	Pool buffer.Stats
@@ -91,6 +99,7 @@ func (db *DB) Stats() (Stats, error) {
 		LogAbsorbed:  db.log.Absorbed(),
 		LogUsedBytes: db.log.UsedBytes(),
 		LogUsage:     db.log.Usage(),
+		WAL:          db.log.Stats(),
 		Pool:         pool.Stats(),
 		Flash:        db.dev.Array().Stats(),
 		Regions:      make(map[string]noftl.Stats),

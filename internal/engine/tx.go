@@ -154,13 +154,15 @@ func (tx *Tx) releaseLocks() {
 // logUpdate appends an update record and chains it. The caller holds the
 // latch of the page being modified, which orders WAL appends and page
 // applications identically per page (the PageLSN invariant redo relies
-// on).
+// on). The images are passed through uncopied: wal.Append copies them
+// once, into log-owned arena storage, so this path performs no
+// intermediate allocation.
 func (tx *Tx) logUpdate(pg core.PageID, op wal.PageOp, slot int, before, after []byte) core.LSN {
 	lsn := tx.db.log.Append(wal.Record{
 		Type: wal.RecUpdate, TxID: tx.id, PrevLSN: tx.lastLSN.load(),
 		Page: pg, Op: op, Slot: uint16(slot),
-		Before: append([]byte(nil), before...),
-		After:  append([]byte(nil), after...),
+		Before: before,
+		After:  after,
 	})
 	tx.lastLSN.store(lsn)
 	tx.updates++

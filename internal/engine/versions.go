@@ -201,8 +201,11 @@ func (vs *versionStore) resolve(rid core.RID, snap core.LSN) (data []byte, absen
 }
 
 // beginSnapshot pins a snapshot LSN for the transaction. head is
-// consulted only when no commit is in flight (the log's own mutex nests
-// under vs.mu here and in commitAppend — the single allowed order).
+// consulted only when no commit is in flight. head is the log's
+// contiguous published horizon (lock-free — the log takes no mutex
+// under vs.mu): every completed Commit has group-flushed past its
+// commit LSN, so a snapshot begun after a commit returns always pins
+// an LSN covering it (read-your-commits is preserved).
 func (vs *versionStore) beginSnapshot(txID uint64, head func() core.LSN) core.LSN {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()

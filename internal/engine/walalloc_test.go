@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"testing"
+
+	"ipa/internal/core"
+	"ipa/internal/noftl"
+	"ipa/internal/wal"
+)
+
+// The update-logging path — Tx.logUpdate through wal.Append — must not
+// allocate per update: the historical path heap-copied both images into
+// intermediate slices on every call; now wal.Append copies them once,
+// into the log's segment arena. Only amortised segment/ring allocations
+// (one small batch per 512 records) remain.
+func TestLogUpdatePathZeroAllocs(t *testing.T) {
+	r := newRig(t, noftl.ModeSLC, core.NewScheme(2, 3), 16, false)
+	defer r.db.Close()
+	tx := mustBegin(r.db, nil)
+	defer tx.Abort()
+
+	before := make([]byte, 64)
+	after := make([]byte, 64)
+	log := r.db.WAL()
+	allocs := testing.AllocsPerRun(20000, func() {
+		lsn := tx.LogUpdate(7, wal.OpUpdate, 3, before, after)
+		if lsn%8192 == 0 {
+			log.Flush(lsn)
+			log.Truncate(log.Flushed())
+		}
+	})
+	if allocs > 0.05 {
+		t.Fatalf("logUpdate path allocates %.4f/op, want amortised ~0 (no intermediate image copies)", allocs)
+	}
+}

@@ -11,13 +11,48 @@
 // consumed) forces dirty-page flushes even with huge buffer pools, which
 // is why the paper still sees host writes at 90% buffer size (Sec. 8.4,
 // Tables 9/10); the Capacity/usage mechanism reproduces that behaviour.
+//
+// # Scalable append path
+//
+// Every transaction funnels through the log (BEGIN, one update record
+// per change, COMMIT, END), so the log is the last global serialization
+// point once everything else is sharded. Appends therefore use lock-free
+// LSN/space reservation instead of a mutex:
+//
+//   - A single atomic fetch-add on the LSN counter hands each appender
+//     its LSN; a second fetch-add reserves its bytes in the space
+//     accounting. Concurrent appenders serialize only on these atomics.
+//   - Records live in a chunked ring of pre-sized segments (segRecords
+//     slots each). The appender copies its record — and its before/after
+//     images, once, into the segment's image arena — into the reserved
+//     slot, then *publishes* it by raising the slot's publication word.
+//   - The readable horizon ("published") is the highest LSN up to which
+//     every slot is published, i.e. the log prefix with no holes. After
+//     publishing, an appender that closed the hole at published+1
+//     advances the horizon with a CAS scan. Go atomics are sequentially
+//     consistent, so whichever of two racing publishers stores its flag
+//     last is guaranteed to observe the other's and complete the
+//     advance — the horizon never stalls on a published slot.
+//
+// Readers (Get, Scan, recovery) only ever observe the contiguous
+// published prefix, so they can never see an LSN gap. The durable
+// horizon (Flush/GroupFlush) trails the published horizon, preserving
+// the WAL rule.
+//
+// Truncation retires whole ring segments by offset arithmetic —
+// O(segments dropped), not O(records retained) — while byte-accurate
+// space accounting is kept per record (partially dropped boundary
+// segments are summed slot-by-slot, bounded by the segment size).
 package wal
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ipa/internal/core"
 )
@@ -70,6 +105,10 @@ const (
 // Record is one log entry. Update/CLR records are physiological: they
 // address a tuple slot within a page and are redone/undone through the
 // slotted-page API, guarded by the PageLSN.
+//
+// Append copies Before/After into log-owned storage, so callers may
+// reuse their buffers; records returned by Get/Scan alias that storage
+// and must be treated as immutable.
 type Record struct {
 	LSN     core.LSN
 	Type    RecType
@@ -94,9 +133,17 @@ type Record struct {
 
 // Size is the bytes the record occupies in the log (a fixed header plus
 // images), driving log-space accounting.
+//
+// Checkpoint records carry the two checkpoint tables: each costs an
+// 8-byte entry count plus 24 bytes per entry (16 B of key/value payload
+// plus 8 B of per-entry slot directory). The historical accounting
+// charged a flat 16 B per entry — payload only, no per-entry or
+// per-table overhead — under-counting every checkpoint record.
 func (r Record) Size() int {
 	n := 48 + len(r.Before) + len(r.After)
-	n += 16 * (len(r.ActiveTxs) + len(r.DirtyPages))
+	if r.Type == RecCheckpoint {
+		n += 16 + 24*(len(r.ActiveTxs)+len(r.DirtyPages))
+	}
 	return n
 }
 
@@ -106,101 +153,425 @@ var (
 	ErrNotFound  = errors.New("wal: no such LSN")
 )
 
+const (
+	// segShift sizes the ring segments: 1<<segShift record slots each.
+	segShift   = 9
+	segRecords = 1 << segShift
+	segMask    = segRecords - 1
+
+	// arenaChunkBytes sizes a segment's image arena (and each overflow
+	// chunk): 128 B of before/after image per record on average, enough
+	// for the OLTP-style small updates the paper profiles. Records whose
+	// images overflow the arena fall back to chained overflow chunks, so
+	// arbitrarily large images remain correct and allocations stay
+	// amortised.
+	arenaChunkBytes = segRecords * 128
+)
+
+// slot is one record cell of a segment. pub is the publication word:
+// 0 = reserved (appender still copying), 1 = published (immutable).
+// Readers load pub with acquire semantics before touching rec, so the
+// record contents are race-free without a lock.
+type slot struct {
+	rec Record
+	pub atomic.Uint32
+}
+
+// segment is one pre-sized chunk of the record ring, covering the fixed
+// LSN range [firstLSN, firstLSN+segRecords). Segments are never reused:
+// truncation drops them wholesale and growth allocates fresh ones, so a
+// published slot stays immutable for its whole life.
+type segment struct {
+	firstLSN core.LSN
+	slots    [segRecords]slot
+
+	// bytes accumulates the Size() of published records, letting a full
+	// segment retire in O(1) during truncation.
+	bytes atomic.Uint64
+
+	// arena is the segment's image store: appenders reserve space with a
+	// fetch-add and copy before/after images exactly once. Overflow goes
+	// to chained chunks under overMu (rare; amortised one allocation per
+	// arenaChunkBytes of overflow).
+	arena    []byte
+	arenaOff atomic.Uint64
+
+	overMu  sync.Mutex
+	over    []byte
+	overOff int
+}
+
+func newSegment(firstLSN core.LSN) *segment {
+	return &segment{firstLSN: firstLSN, arena: make([]byte, arenaChunkBytes)}
+}
+
+// reserveImages hands the appender n bytes of image storage.
+func (s *segment) reserveImages(n int) []byte {
+	end := s.arenaOff.Add(uint64(n))
+	if end <= uint64(len(s.arena)) {
+		return s.arena[end-uint64(n) : end : end]
+	}
+	s.overMu.Lock()
+	defer s.overMu.Unlock()
+	if len(s.over)-s.overOff < n {
+		c := arenaChunkBytes
+		if n > c {
+			c = n
+		}
+		s.over = make([]byte, c)
+		s.overOff = 0
+	}
+	b := s.over[s.overOff : s.overOff+n : s.overOff+n]
+	s.overOff += n
+	return b
+}
+
+// ring is an immutable snapshot of the segment table, swapped atomically
+// on growth and truncation. Segment k (absolute numbering) covers LSNs
+// [k*segRecords+1, (k+1)*segRecords].
+type ring struct {
+	firstSeg uint64 // absolute segment number of segs[0]
+	segs     []*segment
+}
+
+func segNum(lsn core.LSN) uint64 { return (uint64(lsn) - 1) >> segShift }
+
+// segmentOf returns the segment holding lsn, or nil when the ring does
+// not (yet, or anymore) cover it.
+func (r *ring) segmentOf(lsn core.LSN) *segment {
+	sn := segNum(lsn)
+	if sn < r.firstSeg || sn-r.firstSeg >= uint64(len(r.segs)) {
+		return nil
+	}
+	return r.segs[sn-r.firstSeg]
+}
+
+// Config tunes a log instance beyond the device capacity.
+type Config struct {
+	// Capacity is the log device size in bytes; 0 = unbounded (no
+	// log-space pressure).
+	Capacity int
+	// CommitWindow lets a group-commit leader linger before flushing so
+	// the batch can grow under heavy load (see GroupFlush). The default
+	// 0 flushes immediately, keeping default-option runs byte-identical
+	// to the historical log.
+	CommitWindow time.Duration
+}
+
 // Log is an in-memory write-ahead log with byte-accurate space
 // accounting. LSNs are 1-based sequence numbers; the zero LSN means
 // "none".
 //
-// The observable counters (Flushed, Flushes, Absorbed, UsedBytes, Usage)
-// are atomics written under l.mu but read lock-free, so stats sampling
-// (DB.Stats, reclaim-threshold probes) never contends with the
-// group-commit leader holding the mutex.
+// Appends are lock-free (see the package comment); the only mutexes are
+// flushMu, which coordinates group-commit leadership (never held across
+// the flush itself), and ringMu, which serialises segment-table growth
+// and truncation (taken once per segRecords appends, never on the slot
+// hot path). All counters are atomics read lock-free, so stats sampling
+// never contends with appenders or the group-commit leader.
 type Log struct {
-	mu      sync.Mutex
-	records []Record      // records[i] has LSN = firstLSN + i
-	first   core.LSN      // LSN of records[0]
-	next    core.LSN      // next LSN to assign
-	flushed atomic.Uint64 // durable horizon (WAL rule), as a core.LSN
+	next      atomic.Uint64 // next LSN to reserve
+	published atomic.Uint64 // highest contiguously published LSN
+	first     atomic.Uint64 // oldest retained LSN
+	flushed   atomic.Uint64 // durable horizon (WAL rule), as a core.LSN
 
-	headBytes atomic.Uint64 // total bytes ever appended
+	ring   atomic.Pointer[ring]
+	ringMu sync.Mutex // guards ring replacement (growth, truncation)
+
+	headBytes atomic.Uint64 // total bytes ever reserved
 	tailBytes atomic.Uint64 // bytes reclaimed
 	capacity  uint64        // log device size; 0 = unbounded
-	sizeAt    []uint64
-	flushes   atomic.Uint64
+
+	commitWindow time.Duration
 
 	// Group-flush state: one leader flushes on behalf of every committer
-	// whose records are already in the log; followers wait on flushCond
-	// and are absorbed without a device flush of their own.
-	flushCond *sync.Cond
-	flushing  bool
-	absorbed  atomic.Uint64
+	// whose records are already published; followers covered by the
+	// in-flight flush wait on its done channel and are absorbed without
+	// a flush of their own, and followers beyond it form the next batch.
+	flushMu     sync.Mutex
+	flushing    bool
+	flushTarget core.LSN      // horizon the in-flight flush will cover
+	flushDone   chan struct{} // closed when the in-flight flush completes
+
+	flushes       atomic.Uint64
+	absorbed      atomic.Uint64
+	leaderBatches atomic.Uint64
+	batchHist     [batchBuckets]atomic.Uint64
 }
 
 // NewLog creates a log with the given capacity in bytes (0 = unbounded).
 func NewLog(capacity int) *Log {
-	l := &Log{first: 1, next: 1, capacity: uint64(capacity)}
-	l.flushCond = sync.NewCond(&l.mu)
+	return NewLogConfig(Config{Capacity: capacity})
+}
+
+// NewLogConfig creates a log from a full configuration.
+func NewLogConfig(cfg Config) *Log {
+	l := &Log{capacity: uint64(cfg.Capacity), commitWindow: cfg.CommitWindow}
+	l.next.Store(1)
+	l.first.Store(1)
+	l.ring.Store(&ring{})
 	return l
 }
 
 // Append assigns the next LSN, stores the record and returns its LSN.
+// Lock-free: concurrent appenders serialize only on the LSN and space
+// fetch-adds. Before/after images are copied exactly once, into the
+// segment's image arena, so callers may reuse their buffers and the
+// hot path performs no per-record allocation.
 func (l *Log) Append(r Record) core.LSN {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	r.LSN = l.next
-	l.next++
-	l.records = append(l.records, r)
-	head := l.headBytes.Add(uint64(r.Size()))
-	l.sizeAt = append(l.sizeAt, head)
-	return r.LSN
+	lsn := core.LSN(l.next.Add(1) - 1)
+	r.LSN = lsn
+	size := uint64(r.Size())
+	l.headBytes.Add(size)
+	seg := l.segment(lsn)
+	if n := len(r.Before) + len(r.After); n > 0 {
+		buf := seg.reserveImages(n)
+		if nb := len(r.Before); nb > 0 {
+			copy(buf, r.Before)
+			r.Before = buf[:nb:nb]
+		}
+		if na := len(r.After); na > 0 {
+			off := len(r.Before)
+			copy(buf[off:], r.After)
+			r.After = buf[off : off+na : off+na]
+		}
+	}
+	s := &seg.slots[(uint64(lsn)-1)&segMask]
+	s.rec = r
+	seg.bytes.Add(size)
+	s.pub.Store(1)
+	l.advancePublished()
+	return lsn
+}
+
+// segment returns the segment that owns lsn, growing the ring if the
+// reservation ran ahead of it.
+func (l *Log) segment(lsn core.LSN) *segment {
+	if seg := l.ring.Load().segmentOf(lsn); seg != nil {
+		return seg
+	}
+	return l.grow(lsn)
+}
+
+// grow extends the segment table to cover lsn. The ring snapshot is
+// copied under ringMu and swapped in atomically; appenders and readers
+// keep using their snapshots unlocked.
+func (l *Log) grow(lsn core.LSN) *segment {
+	l.ringMu.Lock()
+	defer l.ringMu.Unlock()
+	r := l.ring.Load()
+	if seg := r.segmentOf(lsn); seg != nil {
+		return seg
+	}
+	sn := segNum(lsn)
+	segs := append([]*segment(nil), r.segs...)
+	for next := r.firstSeg + uint64(len(segs)); next <= sn; next++ {
+		segs = append(segs, newSegment(core.LSN(next*segRecords+1)))
+	}
+	l.ring.Store(&ring{firstSeg: r.firstSeg, segs: segs})
+	return segs[sn-r.firstSeg]
+}
+
+// advancePublished moves the contiguous published horizon over every
+// freshly published slot. Liveness: if publisher A (slot n+1) and B
+// (slot n+2) race, whichever stores its publication word later in the
+// sequentially-consistent order observes the other's word set and
+// completes the advance past both — a published slot can never be
+// stranded behind the horizon.
+func (l *Log) advancePublished() {
+	for {
+		cur := l.published.Load()
+		r := l.ring.Load()
+		n := cur
+		for {
+			seg := r.segmentOf(core.LSN(n + 1))
+			if seg == nil {
+				// The ring may have grown since the snapshot.
+				r = l.ring.Load()
+				if seg = r.segmentOf(core.LSN(n + 1)); seg == nil {
+					break // slot n+1 not reserved yet
+				}
+			}
+			if seg.slots[n&segMask].pub.Load() == 0 {
+				break // hole: an appender is still copying
+			}
+			n++
+		}
+		if n == cur {
+			return
+		}
+		if l.published.CompareAndSwap(cur, n) {
+			// Rescan: slots published while we advanced are ours to cover.
+			continue
+		}
+		// Lost the CAS to another publisher; retry against its horizon.
+	}
 }
 
 // Flush makes all records up to lsn durable. In this in-memory model it
 // only moves the durability horizon and counts flushes (the cost shows up
 // on a log device we do not model; the paper's experiments count data-page
-// I/O).
+// I/O). The horizon is clamped to the contiguous published prefix — a
+// record becomes flushable only once everything before it is published.
 func (l *Log) Flush(lsn core.LSN) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if lsn >= l.next {
-		lsn = l.next - 1
+	if pub := core.LSN(l.published.Load()); lsn > pub {
+		lsn = pub
 	}
-	if uint64(lsn) > l.flushed.Load() {
-		l.flushed.Store(uint64(lsn))
-		l.flushes.Add(1)
+	l.advanceFlushed(lsn)
+}
+
+// advanceFlushed is a monotonic max-CAS on the durable horizon. Returns
+// the horizon it replaced and whether it moved.
+func (l *Log) advanceFlushed(lsn core.LSN) (core.LSN, bool) {
+	for {
+		cur := l.flushed.Load()
+		if uint64(lsn) <= cur {
+			return core.LSN(cur), false
+		}
+		if l.flushed.CompareAndSwap(cur, uint64(lsn)) {
+			l.flushes.Add(1)
+			return core.LSN(cur), true
+		}
 	}
 }
 
-// GroupFlush makes all records up to lsn durable using leader-based
-// group commit: the first committer to arrive becomes the leader and
-// flushes everything appended so far; committers arriving while a flush
-// is in flight wait, and when the leader's flush already covers their
-// LSN they return without a flush of their own. Under G concurrent
-// workers this turns up to G per-commit flushes into one.
+// GroupFlush makes all records up to lsn durable using adaptive,
+// pipelined leader-based group commit:
+//
+//   - The first committer to arrive becomes the leader. It may linger
+//     for Config.CommitWindow (default 0) to let the batch grow, then
+//     absorbs everything contiguously published at that moment and
+//     flushes once.
+//   - Committers arriving while a flush is in flight never block
+//     appends: if the in-flight flush already covers their LSN they
+//     wait only for its completion and are absorbed; otherwise they
+//     form the next batch — the first of them takes over leadership the
+//     moment the current flush completes, pipelining batch k+1's
+//     formation with batch k's device write.
+//
+// Under G concurrent workers this turns up to G per-commit flushes into
+// one, and no committer ever holds a lock across the flush itself.
 func (l *Log) GroupFlush(lsn core.LSN) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	for {
-		if l.flushed.Load() >= uint64(lsn) {
+		if core.LSN(l.flushed.Load()) >= lsn {
+			l.absorbed.Add(1)
+			return
+		}
+		l.flushMu.Lock()
+		if core.LSN(l.flushed.Load()) >= lsn {
+			l.flushMu.Unlock()
 			l.absorbed.Add(1)
 			return
 		}
 		if !l.flushing {
-			break
+			l.flushing = true
+			l.flushTarget = lsn
+			done := make(chan struct{})
+			l.flushDone = done
+			l.flushMu.Unlock()
+			l.lead(lsn, done)
+			return
 		}
-		l.flushCond.Wait()
+		covered := lsn <= l.flushTarget
+		done := l.flushDone
+		l.flushMu.Unlock()
+		<-done
+		if covered {
+			// The completed flush's horizon covered our LSN.
+			l.absorbed.Add(1)
+			return
+		}
+		// Not covered: loop — either the leader absorbed us anyway
+		// (flushed check above) or we contend to lead the next batch.
 	}
-	l.flushing = true
-	target := l.next - 1 // absorb everything appended so far
-	// The device write happens outside the mutex so concurrent Appends
-	// (and followers registering) are not blocked behind it.
-	l.mu.Unlock()
-	l.mu.Lock()
-	if uint64(target) > l.flushed.Load() {
-		l.flushed.Store(uint64(target))
-		l.flushes.Add(1)
+}
+
+// lead runs one group flush. flushMu is NOT held across the flush: the
+// horizon publication — the "device write" of this in-memory model —
+// happens with no lock held, so concurrent Appends and arriving
+// followers are never blocked behind a flushing leader.
+func (l *Log) lead(lsn core.LSN, done chan struct{}) {
+	if l.commitWindow > 0 {
+		time.Sleep(l.commitWindow)
 	}
+	target := l.waitPublished(lsn)
+	l.flushMu.Lock()
+	if target > l.flushTarget {
+		// Publish the true horizon so followers inside it are absorbed
+		// by this flush instead of queueing for the next.
+		l.flushTarget = target
+	}
+	l.flushMu.Unlock()
+	if prev, moved := l.advanceFlushed(target); moved {
+		l.leaderBatches.Add(1)
+		l.recordBatch(uint64(target - prev))
+	} else {
+		// Another flush covered our target first: this committer was
+		// absorbed after all. Every GroupFlush call is thus counted
+		// exactly once, as a leader batch or an absorption.
+		l.absorbed.Add(1)
+	}
+	l.flushMu.Lock()
 	l.flushing = false
-	l.flushCond.Broadcast()
+	l.flushMu.Unlock()
+	close(done)
+}
+
+// waitPublished waits until the contiguous published horizon covers lsn
+// and returns it. A hole below lsn is another appender mid-copy, so the
+// wait is bounded by a few memcpys.
+func (l *Log) waitPublished(lsn core.LSN) core.LSN {
+	for spins := 0; ; spins++ {
+		if pub := core.LSN(l.published.Load()); pub >= lsn {
+			return pub
+		}
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Microsecond)
+		}
+	}
+}
+
+// batchBuckets is the power-of-two batch-size histogram depth (2^23
+// records per batch tops out the last bucket).
+const batchBuckets = 24
+
+func (l *Log) recordBatch(n uint64) {
+	if n == 0 {
+		return
+	}
+	b := bits.Len64(n) // bucket b-1 holds sizes [2^(b-1), 2^b)
+	if b > batchBuckets {
+		b = batchBuckets
+	}
+	l.batchHist[b-1].Add(1)
+}
+
+// batchQuantile returns the approximate q-quantile of leader batch
+// sizes, as the lower bound of the histogram bucket containing it
+// (exact for batch sizes that are powers of two).
+func (l *Log) batchQuantile(q float64) uint64 {
+	var total uint64
+	var counts [batchBuckets]uint64
+	for i := range l.batchHist {
+		counts[i] = l.batchHist[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if rank < cum {
+			return 1 << uint(i)
+		}
+	}
+	return 1 << (batchBuckets - 1)
 }
 
 // Absorbed returns how many GroupFlush calls were satisfied by another
@@ -213,82 +584,128 @@ func (l *Log) Flushed() core.LSN { return core.LSN(l.flushed.Load()) }
 // Flushes returns how many flush operations moved the horizon. Lock-free.
 func (l *Log) Flushes() uint64 { return l.flushes.Load() }
 
-// Get returns the record with the given LSN.
+// Get returns the record with the given LSN. Lock-free: the slot's
+// publication word is the only synchronisation, so rollback walking a
+// transaction's chain never contends with appenders.
 func (l *Log) Get(lsn core.LSN) (Record, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.getLocked(lsn)
-}
-
-func (l *Log) getLocked(lsn core.LSN) (Record, error) {
-	if lsn < l.first {
-		return Record{}, fmt.Errorf("%w: %d (tail at %d)", ErrTruncated, lsn, l.first)
+	first := core.LSN(l.first.Load())
+	if lsn < first {
+		return Record{}, fmt.Errorf("%w: %d (tail at %d)", ErrTruncated, lsn, first)
 	}
-	if lsn >= l.next {
-		return Record{}, fmt.Errorf("%w: %d (head at %d)", ErrNotFound, lsn, l.next)
+	next := core.LSN(l.next.Load())
+	if lsn >= next {
+		return Record{}, fmt.Errorf("%w: %d (head at %d)", ErrNotFound, lsn, next)
 	}
-	return l.records[lsn-l.first], nil
+	seg := l.ring.Load().segmentOf(lsn)
+	if seg == nil {
+		// Raced a concurrent truncation (segment retired) or the owning
+		// appender has not grown the ring yet (slot reserved, unwritten).
+		if lsn < core.LSN(l.first.Load()) {
+			return Record{}, fmt.Errorf("%w: %d (tail at %d)", ErrTruncated, lsn, core.LSN(l.first.Load()))
+		}
+		return Record{}, fmt.Errorf("%w: %d (head at %d)", ErrNotFound, lsn, next)
+	}
+	s := &seg.slots[(uint64(lsn)-1)&segMask]
+	if s.pub.Load() == 0 {
+		return Record{}, fmt.Errorf("%w: %d (head at %d)", ErrNotFound, lsn, next)
+	}
+	return s.rec, nil
 }
 
 // Scan calls fn for every record with LSN ≥ from, in order, until fn
-// returns false.
+// returns false. Only the contiguous published prefix is visited, so a
+// scan can never observe an LSN gap: records still being copied by
+// concurrent appenders (and everything after them) are simply not yet
+// part of the log it sees.
 func (l *Log) Scan(from core.LSN, fn func(Record) bool) {
-	l.mu.Lock()
-	recs := l.records
-	first := l.first
-	l.mu.Unlock()
-	if from < first {
-		from = first
+	// Order matters: load the horizon before the ring snapshot, so the
+	// snapshot is guaranteed to contain a segment for every LSN ≤ limit.
+	limit := core.LSN(l.published.Load())
+	r := l.ring.Load()
+	if f := core.LSN(l.first.Load()); from < f {
+		from = f
 	}
-	for i := int(from - first); i < len(recs); i++ {
-		if !fn(recs[i]) {
+	if from < 1 {
+		from = 1
+	}
+	var seg *segment
+	for lsn := from; lsn <= limit; lsn++ {
+		if seg == nil || lsn >= seg.firstLSN+segRecords {
+			if seg = r.segmentOf(lsn); seg == nil {
+				// A concurrent truncation retired this segment; skip to
+				// the new tail (or stop if it passed the horizon).
+				f := core.LSN(l.first.Load())
+				if f <= lsn {
+					return
+				}
+				lsn = f - 1
+				seg = nil
+				continue
+			}
+		}
+		if !fn(seg.slots[(uint64(lsn)-1)&segMask].rec) {
 			return
 		}
 	}
 }
 
-// Head returns the LSN that the next Append will assign, minus one — the
-// newest LSN in the log (0 when empty).
-func (l *Log) Head() core.LSN {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.next - 1
-}
+// Head returns the newest contiguously published LSN (0 when empty) —
+// the LSN horizon every reader is allowed to observe.
+func (l *Log) Head() core.LSN { return core.LSN(l.published.Load()) }
 
-// Tail returns the oldest retained LSN.
-func (l *Log) Tail() core.LSN {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.first
-}
+// Tail returns the oldest retained LSN. Lock-free.
+func (l *Log) Tail() core.LSN { return core.LSN(l.first.Load()) }
 
 // Truncate discards records below lsn, reclaiming their log space. It is
 // called after a checkpoint establishes that no active transaction or
 // dirty page needs them.
+//
+// Cost: fully covered segments retire in O(1) each via their published
+// byte totals, and only the partially dropped boundary segments are
+// summed slot-by-slot — O(segments dropped + segRecords), independent
+// of how many records the log retains.
 func (l *Log) Truncate(lsn core.LSN) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if lsn <= l.first {
+	l.ringMu.Lock()
+	defer l.ringMu.Unlock()
+	first := core.LSN(l.first.Load())
+	// Never drop past the contiguous published horizon: a reserved but
+	// unpublished slot is still owned by its appender.
+	if max := core.LSN(l.published.Load()) + 1; lsn > max {
+		lsn = max
+	}
+	if lsn <= first {
 		return
 	}
-	if lsn > l.next {
-		lsn = l.next
-	}
-	drop := int(lsn - l.first)
-	if drop > len(l.records) {
-		drop = len(l.records)
-	}
-	if drop > 0 {
-		var freed uint64
-		if drop == len(l.records) {
-			freed = l.headBytes.Load() - l.tailBytes.Load()
-		} else {
-			freed = l.sizeAt[drop-1] - l.tailBytes.Load()
+	r := l.ring.Load()
+	var freed uint64
+	for cur := first; cur < lsn; {
+		seg := r.segmentOf(cur)
+		segEnd := seg.firstLSN + segRecords
+		if cur == seg.firstLSN && segEnd <= lsn {
+			// Whole segment drops: O(1) via its byte total.
+			freed += seg.bytes.Load()
+			cur = segEnd
+			continue
 		}
-		l.tailBytes.Add(freed)
-		l.records = append([]Record(nil), l.records[drop:]...)
-		l.sizeAt = append([]uint64(nil), l.sizeAt[drop:]...)
-		l.first += core.LSN(drop)
+		stop := segEnd
+		if lsn < stop {
+			stop = lsn
+		}
+		for ; cur < stop; cur++ {
+			freed += uint64(seg.slots[(uint64(cur)-1)&segMask].rec.Size())
+		}
+	}
+	l.tailBytes.Add(freed)
+	l.first.Store(uint64(lsn))
+	if newFirstSeg := segNum(lsn); newFirstSeg > r.firstSeg {
+		drop := newFirstSeg - r.firstSeg
+		if drop > uint64(len(r.segs)) {
+			drop = uint64(len(r.segs))
+		}
+		l.ring.Store(&ring{
+			firstSeg: r.firstSeg + drop,
+			segs:     append([]*segment(nil), r.segs[drop:]...),
+		})
 	}
 }
 
@@ -311,3 +728,50 @@ func (l *Log) Usage() float64 {
 
 // Capacity returns the configured log device size.
 func (l *Log) Capacity() uint64 { return l.capacity }
+
+// Stats is one lock-free snapshot of the log's contention and space
+// counters — the observability for the reservation-based append path
+// and adaptive group commit (Flashmon is the monitoring precedent: the
+// counters exist to *prove* where the contention went).
+type Stats struct {
+	// Reservations is how many LSN/space reservations appenders took
+	// (every record ever appended, including reserved-but-unpublished
+	// in-flight ones).
+	Reservations uint64
+	// Published is the highest contiguously published LSN; Flushed the
+	// durable horizon trailing it.
+	Published core.LSN
+	Flushed   core.LSN
+	// Flushes counts horizon movements; LeaderBatches the subset driven
+	// by a group-commit leader; Absorbed the committers a leader's flush
+	// covered (the group-commit win).
+	Flushes       uint64
+	LeaderBatches uint64
+	Absorbed      uint64
+	// BatchP50/BatchP99 are approximate quantiles of leader batch sizes
+	// in records, bucketed to powers of two.
+	BatchP50 uint64
+	BatchP99 uint64
+	// Space accounting and ring shape.
+	UsedBytes uint64
+	Usage     float64
+	Segments  int
+}
+
+// Stats assembles a snapshot. Lock-free; counters keep moving while it
+// is taken.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Reservations:  l.next.Load() - 1,
+		Published:     core.LSN(l.published.Load()),
+		Flushed:       core.LSN(l.flushed.Load()),
+		Flushes:       l.flushes.Load(),
+		LeaderBatches: l.leaderBatches.Load(),
+		Absorbed:      l.absorbed.Load(),
+		BatchP50:      l.batchQuantile(0.50),
+		BatchP99:      l.batchQuantile(0.99),
+		UsedBytes:     l.UsedBytes(),
+		Usage:         l.Usage(),
+		Segments:      len(l.ring.Load().segs),
+	}
+}

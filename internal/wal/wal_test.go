@@ -121,11 +121,13 @@ func TestRecordSize(t *testing.T) {
 	if r.Size() != 48+8 {
 		t.Errorf("Size = %d", r.Size())
 	}
+	// Checkpoint: header + two 8-byte table counts + 24 B per entry
+	// (16 B key/value payload + 8 B slot directory).
 	ck := Record{Type: RecCheckpoint,
 		ActiveTxs:  map[uint64]core.LSN{1: 1, 2: 2},
 		DirtyPages: map[core.PageID]core.LSN{3: 3},
 	}
-	if ck.Size() != 48+16*3 {
+	if ck.Size() != 48+16+24*3 {
 		t.Errorf("checkpoint Size = %d", ck.Size())
 	}
 }
