@@ -2,9 +2,16 @@
 # lands. `make check` is what CI (and ROADMAP.md) means by tier-1.
 GO ?= go
 
-.PHONY: check vet build test race bench bench-htap bench-olcindex bench-index bench-schemes bench-server bench-prev bench-all fmt fmt-check
+.PHONY: check tier1 vet build test race bench bench-wal bench-htap bench-olcindex bench-index bench-schemes bench-server bench-prev bench-all fmt fmt-check
 
 check: fmt-check vet build race
+
+# tier1 is the replication-aware spelling of the gate: the full -race
+# suite includes the 3-node kill-the-primary failover test
+# (internal/repl) and the applier replay/snapshot/promote tests
+# (internal/engine), so "tier1 green" means acked commits survive a
+# leader crash under the race detector.
+tier1: check test
 
 # gofmt cleanliness is part of the gate: a dirty tree means a tool or a
 # hand-edit skipped formatting.
@@ -26,15 +33,27 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Perf evidence for the current PR: the scalable WAL. BenchmarkWALAppend
-# exercises the reservation-based append path bare (goroutines {1,4,16}
-# × before/after image sizes {16 B, 256 B}, with periodic group flushes
-# and ring truncations; -benchmem proves the allocation-free hot path),
-# and BenchmarkConcurrentTPCB shows the end-to-end effect on 16-worker
-# committed-work ns/op now that commits no longer serialise on a log
-# mutex. Wall-clock numbers, so the TPC-B grid runs 3 counts.
-BENCH_OUT ?= BENCH_PR9.json
+# Perf evidence for the current PR: the replicated cluster. A 3-node
+# in-process cluster under 16-terminal TPC-B load over the wire
+# protocol, reporting follower replication lag (records and bytes,
+# sampled from the leader's per-peer shipping state), then the primary
+# crash-killed mid-run: failover time until the new leader serves, the
+# post-failover phase, and an audit that every acknowledged commit
+# survived. Wall-clock numbers (elections run on real timers).
+BENCH_OUT ?= BENCH_PR10.json
 bench:
+	$(GO) run ./cmd/ipabench -exp repl -out $(BENCH_OUT)
+
+# The scalable-WAL benchmarks from the previous PR (evidence in
+# BENCH_PR9.json): BenchmarkWALAppend exercises the reservation-based
+# append path bare (goroutines {1,4,16} × before/after image sizes
+# {16 B, 256 B}, with periodic group flushes and ring truncations;
+# -benchmem proves the allocation-free hot path), and
+# BenchmarkConcurrentTPCB shows the end-to-end effect on 16-worker
+# committed-work ns/op. Wall-clock numbers, so the TPC-B grid runs 3
+# counts.
+WAL_BENCH_OUT ?= BENCH_PR9.json
+bench-wal:
 	rm -f /tmp/bench_wal_raw.txt
 	$(GO) test -run xxx -bench 'BenchmarkWALAppend' -benchtime 200000x \
 		-benchmem ./internal/wal/ >> /tmp/bench_wal_raw.txt
@@ -42,7 +61,7 @@ bench:
 		$(GO) test -run xxx -bench 'BenchmarkConcurrentTPCB' -benchtime 3000x \
 			-benchmem ./internal/workload/ >> /tmp/bench_wal_raw.txt || exit 1; done
 	cat /tmp/bench_wal_raw.txt
-	$(GO) run ./cmd/benchjson < /tmp/bench_wal_raw.txt > $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson < /tmp/bench_wal_raw.txt > $(WAL_BENCH_OUT)
 	rm -f /tmp/bench_wal_raw.txt
 
 # The HTAP matrix from the previous PR (evidence in BENCH_PR8.json):

@@ -28,7 +28,7 @@ var ids = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6",
 	"table7", "table8", "table9", "table10", "table11",
 	"fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "longevity",
-	"schemes", "index", "htap",
+	"schemes", "index", "htap", "repl",
 }
 
 func main() {
@@ -92,8 +92,15 @@ func main() {
 				table = experiments.HTAPTable(rows)
 				data, err = experiments.HTAPJSON(p, rows)
 			}
+		case "repl":
+			var rows []experiments.ReplRow
+			var sum *experiments.ReplSummary
+			if rows, sum, err = experiments.RunReplBench(p); err == nil {
+				table = experiments.ReplTable(rows, sum)
+				data, err = experiments.ReplJSON(p, rows, sum)
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "ipabench: -out is only supported with -exp schemes, index or htap")
+			fmt.Fprintln(os.Stderr, "ipabench: -out is only supported with -exp schemes, index, htap or repl")
 			os.Exit(2)
 		}
 		if err != nil {

@@ -21,21 +21,20 @@ type netResult struct {
 // runNet drives TPC-B over TCP against a running ipaserver: conns
 // connections, each executing txPerConn Account_Update transactions
 // (pipelined, two round trips each), reporting wall-clock throughput
-// and client-observed latency percentiles.
+// and client-observed latency percentiles. The pool is cluster-aware:
+// pointing it at a follower of a replicated deployment follows the
+// REDIRECT to the leader, and a failover mid-run retries against the
+// new leader.
 func runNet(addr string, conns, txPerConn int, seed int64) error {
-	pool := client.NewPool(addr, client.Options{})
+	pool := client.NewClusterPool([]string{addr}, client.Options{})
 	defer pool.Close()
 
-	// One connection to discover the schema → RID maps, shared by all.
-	c0, err := pool.Get()
-	if err != nil {
-		return fmt.Errorf("connect %s: %w", addr, err)
+	// Discover the schema → RID maps once, shared by all connections
+	// (physical replication keeps RIDs identical on every member).
+	drv := workload.NewClusterTPCB()
+	if err := drv.Init(pool); err != nil {
+		return fmt.Errorf("init via %s: %w", addr, err)
 	}
-	drv := workload.NewNetTPCB()
-	if err := drv.Init(c0); err != nil {
-		return err
-	}
-	pool.Put(c0)
 
 	lat := make([]*metrics.Latency, conns)
 	results := make([]netResult, conns)
@@ -46,16 +45,10 @@ func runNet(addr string, conns, txPerConn int, seed int64) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := pool.Get()
-			if err != nil {
-				results[i].err = err
-				return
-			}
-			defer pool.Put(c)
 			rng := rand.New(rand.NewSource(seed + int64(i)))
 			for t := 0; t < txPerConn; t++ {
 				t0 := time.Now()
-				err := drv.RunOne(c, rng)
+				_, err := drv.RunOne(pool, rng)
 				lat[i].Add(time.Since(t0))
 				switch {
 				case err == nil:

@@ -11,16 +11,27 @@
 //	ipaserver -scale 4 -addr :9000    # bigger preload, custom port
 //	ipaserver -scale 0 -ipa=false     # empty engine, IPA off
 //
+// Cluster mode starts one member of a replicated deployment; the lowest
+// node id bootstraps as leader and preloads, the others join empty and
+// catch up over the replication stream:
+//
+//	ipaserver -node-id 1 -peers 1=:7070,2=:7170,3=:7270
+//	ipaserver -node-id 2 -peers 1=:7070,2=:7170,3=:7270
+//	ipaserver -node-id 3 -peers 1=:7070,2=:7170,3=:7270
+//
 // The admin endpoint (default :7071) serves GET /stats — engine
 // counters plus per-op latency histograms as JSON — and /healthz.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -28,13 +39,14 @@ import (
 	"ipa/internal/engine"
 	"ipa/internal/flash"
 	"ipa/internal/noftl"
+	"ipa/internal/repl"
 	"ipa/internal/server"
 	"ipa/internal/sim"
 	"ipa/internal/workload"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "wire-protocol listen address")
+	addr := flag.String("addr", "127.0.0.1:7070", "wire-protocol listen address (cluster mode listens on this node's -peers entry instead)")
 	admin := flag.String("admin", "127.0.0.1:7071", "admin HTTP listen address (empty disables)")
 	scale := flag.Int("scale", 1, "TPC-B branches to preload (0 skips the preload)")
 	accounts := flag.Int("accounts", 2000, "TPC-B accounts per branch")
@@ -43,21 +55,71 @@ func main() {
 	ipa := flag.Bool("ipa", true, "enable in-place appends ([2x3] scheme) on the data region")
 	inflight := flag.Int("inflight", 256, "global in-flight request cap")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	nodeID := flag.Uint64("node-id", 0, "this member's id within -peers (cluster mode)")
+	peersFlag := flag.String("peers", "", `cluster membership as "1=host:port,2=host:port,..." (empty runs standalone)`)
 	flag.Parse()
 
-	db, tl, err := buildStack(*pageSize, *chips, *scale, *accounts, *ipa)
-	if err != nil {
-		log.Fatalf("ipaserver: %v", err)
+	var (
+		db   *engine.DB
+		tl   *sim.Timeline
+		node *repl.Node
+		err  error
+	)
+	listenAddr := *addr
+	if *peersFlag != "" {
+		peers, perr := parsePeers(*peersFlag)
+		if perr != nil {
+			log.Fatalf("ipaserver: -peers: %v", perr)
+		}
+		if _, ok := peers[*nodeID]; !ok {
+			log.Fatalf("ipaserver: -node-id %d not present in -peers", *nodeID)
+		}
+		listenAddr = peers[*nodeID]
+		// The lowest id bootstraps term 1; everyone else joins as a
+		// follower and replays the leader's log (including the preload).
+		bootstrap := true
+		for id := range peers {
+			if id < *nodeID {
+				bootstrap = false
+			}
+		}
+		db, tl, err = buildMember(*pageSize, *chips, *scale, *accounts)
+		if err != nil {
+			log.Fatalf("ipaserver: %v", err)
+		}
+		node, err = repl.NewNode(repl.Config{
+			NodeID: *nodeID, Peers: peers, DB: db, TL: tl,
+			Bootstrap: bootstrap, Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("ipaserver: %v", err)
+		}
+		if bootstrap && *scale > 0 {
+			if err := preload(db, tl, *scale, *accounts); err != nil {
+				log.Fatalf("ipaserver: %v", err)
+			}
+		}
+		log.Printf("ipaserver: cluster node %d (bootstrap=%v), peers %s",
+			*nodeID, bootstrap, *peersFlag)
+	} else {
+		db, tl, err = buildStack(*pageSize, *chips, *scale, *accounts, *ipa)
+		if err != nil {
+			log.Fatalf("ipaserver: %v", err)
+		}
 	}
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		DB: db, Timeline: tl, MaxInflight: *inflight, Logf: log.Printf,
-	})
+	}
+	if node != nil {
+		cfg.Repl = node
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("ipaserver: %v", err)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		log.Fatalf("ipaserver: %v", err)
 	}
@@ -87,12 +149,62 @@ func main() {
 		}
 	case s := <-sig:
 		log.Printf("ipaserver: %v: draining (timeout %v)", s, *drain)
+		if node != nil {
+			node.Stop()
+		}
 		if err := srv.Shutdown(*drain); err != nil {
 			log.Fatalf("ipaserver: shutdown: %v", err)
 		}
 		<-serveErr
 		log.Printf("ipaserver: database closed cleanly")
 	}
+}
+
+// parsePeers decodes "1=host:port,2=host:port,..." into a peer map.
+func parsePeers(s string) (map[uint64]string, error) {
+	peers := make(map[uint64]string)
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not id=addr", part)
+		}
+		n, err := strconv.ParseUint(id, 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("bad node id %q", id)
+		}
+		if _, dup := peers[n]; dup {
+			return nil, fmt.Errorf("duplicate node id %d", n)
+		}
+		peers[n] = addr
+	}
+	if len(peers) < 2 {
+		return nil, fmt.Errorf("a cluster needs at least 2 members, got %d", len(peers))
+	}
+	return peers, nil
+}
+
+// buildMember assembles one replicated cluster member's stack (MVCC and
+// replication always on; the log is unbounded so late joiners can
+// stream from LSN 1).
+func buildMember(pageSize, chips, scale, accountsPerBranch int) (*engine.DB, *sim.Timeline, error) {
+	accounts := scale * accountsPerBranch
+	dataBytes := accounts*120 + accounts*20 + 1<<20
+	pages := dataBytes/pageSize + 64
+	pagesPerBlock := 64
+	blocksPerChip := pages*3/(chips*pagesPerBlock) + 4
+	return repl.NewMemberDB(chips, blocksPerChip, pageSize, pages+64, 0, 0)
+}
+
+// preload loads the TPC-B tables on the bootstrap member.
+func preload(db *engine.DB, tl *sim.Timeline, scale, accountsPerBranch int) error {
+	wl := workload.NewTPCB(db, "data", scale, accountsPerBranch)
+	start := time.Now()
+	if err := wl.Load(tl.NewWorker()); err != nil {
+		return err
+	}
+	log.Printf("ipaserver: preloaded TPC-B scale %d (%d accounts) in %v",
+		scale, wl.Accounts(), time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // buildStack assembles flash → NoFTL region → engine, sized for the

@@ -70,6 +70,7 @@ var ErrTimeout = errors.New("client: request timed out")
 // safe for concurrent use.
 type Conn struct {
 	opts Options
+	addr string
 	conn net.Conn
 
 	wmu   sync.Mutex // serialises writes and flushes
@@ -86,7 +87,10 @@ type Conn struct {
 }
 
 // Dial connects to an IPA server, retrying transient dial failures up
-// to MaxRetries times.
+// to MaxRetries times. The first frame on every connection is a HELLO
+// carrying wire.ProtoVersion; a server speaking a different protocol
+// revision rejects it with BAD_REQUEST, which Dial surfaces immediately
+// (a version mismatch will not heal on retry).
 func Dial(addr string, opts Options) (*Conn, error) {
 	opts = opts.withDefaults()
 	var lastErr error
@@ -96,20 +100,33 @@ func Dial(addr string, opts Options) (*Conn, error) {
 		if err == nil {
 			c := &Conn{
 				opts:    opts,
+				addr:    addr,
 				conn:    nc,
 				bw:      bufio.NewWriterSize(nc, 32<<10),
 				pending: make(map[uint64]chan wire.Frame),
 				done:    make(chan struct{}),
 			}
 			go c.readLoop()
-			return c, nil
+			if _, err := c.send(wire.OpHello, []byte{wire.ProtoVersion}).Wait(); err != nil {
+				c.Close()
+				if errors.Is(err, wire.ErrBadRequest) {
+					return nil, fmt.Errorf("client: dial %s: protocol version mismatch: %w", addr, err)
+				}
+				lastErr = err
+			} else {
+				return c, nil
+			}
+		} else {
+			lastErr = err
 		}
-		lastErr = err
 		time.Sleep(backoff)
 		backoff *= 2
 	}
 	return nil, fmt.Errorf("client: dial %s: %w", addr, lastErr)
 }
+
+// Addr returns the address the connection was dialed to.
+func (c *Conn) Addr() string { return c.addr }
 
 // Close tears the connection down. In-flight Waits fail.
 func (c *Conn) Close() error {
@@ -219,6 +236,12 @@ func (p *Pending) Wait() (wire.Frame, error) {
 			}
 			return wire.Frame{}, err
 		}
+		if f.Kind == wire.StatusRedirect {
+			// A follower declining a leader-only op; the payload names
+			// the leader ("" mid-election). The cluster Pool consumes
+			// this to re-resolve before callers ever see it.
+			return f, &wire.RedirectError{Leader: wire.NewReader(f.Payload).String()}
+		}
 		if f.Kind != wire.StatusOK {
 			msg := wire.NewReader(f.Payload).Blob()
 			return f, &wire.StatusError{Code: f.Kind, Message: string(msg)}
@@ -236,6 +259,19 @@ func (p *Pending) Wait() (wire.Frame, error) {
 // rejections with exponential backoff up to MaxRetries attempts. Busy
 // rejections happen before the op executes, so the retry is always
 // safe.
+// Do sends one raw request synchronously with the transient-retry
+// policy. The replication layer uses it to carry opcodes the typed
+// wrappers don't cover.
+func (c *Conn) Do(kind byte, payload []byte) (wire.Frame, error) {
+	return c.do(kind, payload)
+}
+
+// DoAsync enqueues one raw request and returns its Pending without
+// flushing, so repl batches coalesce like pipelined transactions.
+func (c *Conn) DoAsync(kind byte, payload []byte) *Pending {
+	return c.send(kind, payload)
+}
+
 func (c *Conn) do(kind byte, payload []byte) (wire.Frame, error) {
 	backoff := c.opts.RetryBackoff
 	var f wire.Frame

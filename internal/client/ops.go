@@ -99,6 +99,22 @@ func (c *Conn) UpdateFieldAsync(tx uint64, table string, rid wire.RID, off int, 
 	return c.send(wire.OpUpdateField, p)
 }
 
+// AddField adds delta to the 8-byte little-endian word at byte offset
+// off, server-side under the tuple lock — the atomic balance increment
+// TPC-B style workloads need (an absolute UpdateField computed from a
+// stale client-side read loses concurrent increments).
+func (c *Conn) AddField(tx uint64, table string, rid wire.RID, off int, delta uint64) error {
+	_, err := c.AddFieldAsync(tx, table, rid, off, delta).Wait()
+	return err
+}
+
+// AddFieldAsync pipelines a field increment.
+func (c *Conn) AddFieldAsync(tx uint64, table string, rid wire.RID, off int, delta uint64) *Pending {
+	p := wire.NewBuilder(36 + len(table)).
+		Uint64(tx).String(table).RID(rid).Uint32(uint32(off)).Uint64(delta).Bytes()
+	return c.send(wire.OpAddField, p)
+}
+
 // Delete removes a tuple.
 func (c *Conn) Delete(tx uint64, table string, rid wire.RID) error {
 	p := wire.NewBuilder(24 + len(table)).Uint64(tx).String(table).RID(rid).Bytes()

@@ -94,6 +94,15 @@ type Options struct {
 	// it. The default (false) keeps the write path byte-identical to
 	// the paper-fidelity engine (no version-store hooks run at all).
 	MVCC bool
+	// Replicated makes the WAL self-describing for log-shipping
+	// replication: CreateTable appends a RecTable record and every page
+	// allocation a RecAlloc record, so a follower can rebuild the
+	// catalog, heap chains and page directory from the stream alone.
+	// Neither record is transactional and both are ignored by recovery.
+	// The default (false) keeps the log byte-identical to the
+	// single-node engine — the paper experiments' golden renders never
+	// see these records.
+	Replicated bool
 	// Timeline provides simulated time; optional.
 	Timeline *sim.Timeline
 }
@@ -489,8 +498,22 @@ func (db *DB) newPage(w *sim.Worker, st *PageStore, owner uint64, flags uint16) 
 	}
 	pg.SetOwner(owner)
 	pg.SetFlags(flags)
+	if db.opts.Replicated {
+		// Published before the page's first update record (same
+		// goroutine), so a follower always learns the page's store
+		// before it must redo onto it.
+		db.log.Append(wal.Record{Type: wal.RecAlloc, Meta: encodeAllocMeta(id, owner, st.region.Name())})
+	}
 	return fr, pg, nil
 }
+
+// WAL exposes the write-ahead log for the replication layer (stream
+// cursor, retain floor, commit-horizon queries). Not for transactional
+// use — records are appended through Tx.
+func (db *DB) WAL() *wal.Log { return db.log }
+
+// Replicated reports whether the instance writes a self-describing log.
+func (db *DB) Replicated() bool { return db.opts.Replicated }
 
 // maybeReclaim emulates Shore-MT's eager log-space reclamation: when the
 // log fills past the threshold, the oldest dirty pages are flushed, a

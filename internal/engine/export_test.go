@@ -5,11 +5,6 @@ import (
 	"ipa/internal/wal"
 )
 
-// WAL exposes the write-ahead log to white-box tests. The public engine
-// surface is DB/Tx/Options/Stats; tools that used to reach through the
-// deprecated DB.Log accessor consume DB.WALProfile instead.
-func (db *DB) WAL() *wal.Log { return db.log }
-
 // LogUpdate exposes tx.logUpdate so allocation guards can measure the
 // update-logging path (logUpdate → wal.Append) in isolation.
 func (tx *Tx) LogUpdate(pg core.PageID, op wal.PageOp, slot int, before, after []byte) core.LSN {

@@ -52,3 +52,13 @@ func (pd *pageDir) delete(id core.PageID) {
 	delete(s.m, id)
 	s.mu.Unlock()
 }
+
+// clear empties the directory (replica snapshot install).
+func (pd *pageDir) clear() {
+	for i := range pd.shards {
+		s := &pd.shards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+}

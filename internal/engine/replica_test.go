@@ -1,0 +1,287 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"ipa/internal/core"
+)
+
+// newReplRig opens a small two-region DB with replication and MVCC on,
+// the shape every cluster member runs with.
+func newReplRig(t *testing.T) *DB {
+	t.Helper()
+	return newRigWithOptions(t, rigGeometry(), Options{
+		PageSize: 512, BufferFrames: 64, LogCapacity: 1 << 20,
+		MVCC: true, Replicated: true,
+	})
+}
+
+// shipAll streams every record past the applier's head from src into a,
+// in bounded batches, until the follower has caught up.
+func shipAll(t *testing.T, src *DB, a *Applier) {
+	t.Helper()
+	for a.AppliedLSN() < src.WAL().Head() {
+		recs, err := src.WAL().ReadFrom(a.AppliedLSN()+1, 64, 1<<20)
+		if err != nil {
+			t.Fatalf("ReadFrom: %v", err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("stream stalled at LSN %d (primary head %d)", a.AppliedLSN(), src.WAL().Head())
+		}
+		if err := a.Apply(recs); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+	}
+}
+
+// scanAll collects a table's visible heap state keyed by RID.
+func scanAll(t *testing.T, tb *Table) map[core.RID][]byte {
+	t.Helper()
+	out := make(map[core.RID][]byte)
+	err := tb.Scan(nil, func(rid core.RID, tuple []byte) bool {
+		out[rid] = append([]byte(nil), tuple...)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("scan %s: %v", tb.Name(), err)
+	}
+	return out
+}
+
+// diffStates fails the test when two table states differ.
+func diffStates(t *testing.T, want, got map[core.RID][]byte) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("tuple count: primary %d, follower %d", len(want), len(got))
+	}
+	for rid, wv := range want {
+		gv, ok := got[rid]
+		if !ok {
+			t.Fatalf("follower missing RID %v", rid)
+		}
+		if !bytes.Equal(wv, gv) {
+			t.Fatalf("RID %v: primary %q, follower %q", rid, wv, gv)
+		}
+	}
+}
+
+// TestApplierStreamParity replays a full primary history — DDL,
+// inserts, updates, a delete and an abort — through the applier and
+// checks LSN parity plus byte-identical table state.
+func TestApplierStreamParity(t *testing.T) {
+	primary := newReplRig(t)
+	defer primary.Close()
+	follower := newReplRig(t)
+	defer follower.Close()
+
+	a, err := follower.NewApplier(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ptb, err := primary.CreateTable("acct", "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []core.RID
+	tx := mustBegin(primary, nil)
+	for i := 0; i < 8; i++ {
+		rid, err := ptb.Insert(tx, []byte{'v', '0', '-', byte('a' + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx = mustBegin(primary, nil)
+	if err := ptb.Update(tx, rids[1], []byte("v1-b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ptb.Delete(tx, rids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An aborted transaction ships RecAbort + CLRs + RecEnd; the
+	// follower must restore the before-image through the CLRs.
+	tx = mustBegin(primary, nil)
+	if err := ptb.Update(tx, rids[3], []byte("XXXX")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	shipAll(t, primary, a)
+	if got, want := a.AppliedLSN(), primary.WAL().Head(); got != want {
+		t.Fatalf("applied LSN %d, primary head %d", got, want)
+	}
+	if got, want := follower.WAL().Head(), primary.WAL().Head(); got != want {
+		t.Fatalf("follower log head %d, primary %d (parity broken)", got, want)
+	}
+
+	ftb, err := follower.Table("acct")
+	if err != nil {
+		t.Fatalf("follower table: %v", err)
+	}
+	diffStates(t, scanAll(t, ptb), scanAll(t, ftb))
+	if got := scanAll(t, ftb)[rids[3]]; string(got) != "v0-d" {
+		t.Fatalf("aborted update leaked to follower: %q", got)
+	}
+
+	// Snapshot reads on the follower see committed state.
+	snap, err := follower.BeginSnapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Abort()
+	got, err := ftb.ReadSnapshot(snap, rids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v1-b" {
+		t.Fatalf("follower snapshot read: %q, want %q", got, "v1-b")
+	}
+}
+
+// TestApplierSnapshotJoin primes a fresh follower from a mid-stream
+// snapshot captured while a transaction is active, then continues the
+// stream: the active transaction's records replay from its RecBegin
+// (PrimeLSN = min active firstLSN - 1), with heap applies deduplicated
+// by the PageLSN guard but version-chain entries still installed.
+func TestApplierSnapshotJoin(t *testing.T) {
+	primary := newReplRig(t)
+	defer primary.Close()
+	follower := newReplRig(t)
+	defer follower.Close()
+
+	ptb, err := primary.CreateTable("acct", "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []core.RID
+	tx := mustBegin(primary, nil)
+	for i := 0; i < 5; i++ {
+		rid, err := ptb.Insert(tx, []byte{'s', '0', '-', byte('a' + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	open := mustBegin(primary, nil)
+	if err := ptb.Update(open, rids[0], []byte("s1-a")); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := primary.CaptureSnapshot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.PrimeLSN >= primary.WAL().Head() {
+		t.Fatalf("PrimeLSN %d not below head %d despite active tx", snap.PrimeLSN, primary.WAL().Head())
+	}
+
+	if err := follower.InstallSnapshot(nil, snap); err != nil {
+		t.Fatal(err)
+	}
+	a, err := follower.NewApplier(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Resync()
+	if got := a.AppliedLSN(); got != snap.PrimeLSN {
+		t.Fatalf("resynced applier at %d, want PrimeLSN %d", got, snap.PrimeLSN)
+	}
+
+	if err := ptb.Update(open, rids[4], []byte("s1-e")); err != nil {
+		t.Fatal(err)
+	}
+	if err := open.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	shipAll(t, primary, a)
+
+	ftb, err := follower.Table("acct")
+	if err != nil {
+		t.Fatalf("follower table: %v", err)
+	}
+	diffStates(t, scanAll(t, ptb), scanAll(t, ftb))
+}
+
+// TestApplierPromote rolls back the dead primary's open transaction on
+// promotion and leaves the follower writable as a normal primary.
+func TestApplierPromote(t *testing.T) {
+	primary := newReplRig(t)
+	defer primary.Close()
+	follower := newReplRig(t)
+	defer follower.Close()
+
+	a, err := follower.NewApplier(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ptb, err := primary.CreateTable("acct", "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := mustBegin(primary, nil)
+	rid, err := ptb.Insert(tx, []byte("old!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The primary "dies" with this transaction open; its update has
+	// already shipped.
+	loser := mustBegin(primary, nil)
+	if err := ptb.Update(loser, rid, []byte("new!")); err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, primary, a)
+
+	if err := a.Promote(); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if follower.WAL().Head() <= primary.WAL().Head() {
+		t.Fatalf("promotion appended no rollback records: follower head %d, primary %d",
+			follower.WAL().Head(), primary.WAL().Head())
+	}
+
+	ftb, err := follower.Table("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ftb.Read(nil, rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old!" {
+		t.Fatalf("loser transaction survived promotion: %q", got)
+	}
+
+	// The promoted node serves writes.
+	ntx := mustBegin(follower, nil)
+	if err := ftb.Update(ntx, rid, []byte("next")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ntx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ftb.Read(nil, rid); string(got) != "next" {
+		t.Fatalf("post-promotion write: %q", got)
+	}
+}

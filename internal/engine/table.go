@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -51,6 +52,9 @@ func (db *DB) CreateTable(name, regionName string) (*Table, error) {
 	}
 	t := &Table{db: db, st: st, name: name, id: uint64(len(db.tables) + 1)}
 	db.tables[name] = t
+	if db.opts.Replicated {
+		db.log.Append(wal.Record{Type: wal.RecTable, Meta: encodeTableMeta(t.id, name, regionName)})
+	}
 	return t, nil
 }
 
@@ -411,9 +415,11 @@ func (t *Table) Update(tx *Tx, rid core.RID, data []byte) error {
 // UpdateField performs the OLTP pattern the paper analyses: a
 // read-modify-write of a byte range within the tuple (e.g. one numeric
 // attribute), leaving the rest untouched — which is what keeps update
-// deltas small.
+// deltas small. The tuple lock is taken before the base tuple is read,
+// so the RMW is atomic against concurrent writers; reading first would
+// silently merge val into a stale image and lose their updates.
 func (t *Table) UpdateField(tx *Tx, rid core.RID, off int, val []byte) error {
-	cur, err := t.Read(tx.w, rid)
+	cur, err := t.ReadLocked(tx, rid)
 	if err != nil {
 		return err
 	}
@@ -421,6 +427,24 @@ func (t *Table) UpdateField(tx *Tx, rid core.RID, off int, val []byte) error {
 		return fmt.Errorf("engine: field [%d,%d) outside tuple of %d bytes", off, off+len(val), len(cur))
 	}
 	copy(cur[off:], val)
+	return t.Update(tx, rid, cur)
+}
+
+// AddField adds delta to the 8-byte little-endian word at off — the
+// pure delta update the IPA scheme appends in place. The addition
+// happens under the tuple lock, so concurrent terminals incrementing
+// the same balance serialize instead of losing increments to stale
+// client-side reads (the anomaly an absolute write computed from an
+// unlocked read suffers).
+func (t *Table) AddField(tx *Tx, rid core.RID, off int, delta uint64) error {
+	cur, err := t.ReadLocked(tx, rid)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+8 > len(cur) {
+		return fmt.Errorf("engine: field [%d,%d) outside tuple of %d bytes", off, off+8, len(cur))
+	}
+	binary.LittleEndian.PutUint64(cur[off:], binary.LittleEndian.Uint64(cur[off:])+delta)
 	return t.Update(tx, rid, cur)
 }
 

@@ -78,6 +78,10 @@ type Tx struct {
 	// lockConflict records that the transaction hit ErrLockConflict, so
 	// Abort can account the abort to the right reason.
 	lockConflict bool
+
+	// commitLSN is set by Commit; the replication layer waits for it to
+	// reach a quorum of followers before acking the client.
+	commitLSN core.LSN
 }
 
 // Begin starts a transaction bound to the worker (nil is fine for
@@ -129,6 +133,11 @@ func (tx *Tx) ReadOnly() bool { return tx.readOnly }
 // SnapshotLSN returns the pinned snapshot LSN (0 for ordinary
 // transactions).
 func (tx *Tx) SnapshotLSN() core.LSN { return tx.snapshot }
+
+// CommitLSN returns the LSN of the transaction's commit record (0 until
+// Commit succeeds, and always 0 for read-only snapshot transactions).
+// The server's quorum wait keys on it.
+func (tx *Tx) CommitLSN() core.LSN { return tx.commitLSN }
 
 // lockRID acquires (or re-acquires) the exclusive tuple lock through the
 // sharded no-wait lock table.
@@ -200,6 +209,7 @@ func (tx *Tx) Commit() error {
 	db.log.GroupFlush(lsn)
 	db.log.Append(wal.Record{Type: wal.RecEnd, TxID: tx.id, PrevLSN: lsn})
 	tx.status = txCommitted
+	tx.commitLSN = lsn
 	tx.releaseLocks()
 	db.txMu.Lock()
 	delete(db.active, tx.id)

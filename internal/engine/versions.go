@@ -249,6 +249,17 @@ func (vs *versionStore) commitAppend(log *wal.Log, txID uint64, prev core.LSN) c
 	return lsn
 }
 
+// registerInflight registers an already-known commit LSN as in flight,
+// for the replication applier: the shipped commit record's LSN is fixed
+// by log parity, so the applier registers it BEFORE appending locally —
+// guaranteeing no snapshot pins an LSN covering the commit while its
+// chain entries are still being stamped.
+func (vs *versionStore) registerInflight(lsn core.LSN) {
+	vs.mu.Lock()
+	vs.inflight[lsn]++
+	vs.mu.Unlock()
+}
+
 // finishCommit deregisters a fully stamped commit.
 func (vs *versionStore) finishCommit(lsn core.LSN) {
 	vs.mu.Lock()

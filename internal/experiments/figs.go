@@ -247,6 +247,7 @@ func All(p Params) (string, error) {
 		{"schemes", Schemes},
 		{"index", Index},
 		{"htap", HTAP},
+		{"repl", Repl},
 	}
 	var b strings.Builder
 	for _, e := range exps {
@@ -305,6 +306,8 @@ func ByID(id string, p Params) (*Table, error) {
 		return Index(p)
 	case "htap":
 		return HTAP(p)
+	case "repl":
+		return Repl(p)
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q", id)
 	}

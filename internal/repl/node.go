@@ -1,0 +1,837 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipa/internal/client"
+	"ipa/internal/core"
+	"ipa/internal/engine"
+	"ipa/internal/sim"
+	"ipa/internal/wal"
+	"ipa/internal/wire"
+)
+
+// Role is a node's place in the cluster.
+type Role int32
+
+const (
+	// RoleFollower replays the leader's stream and serves snapshot
+	// reads at its applied horizon.
+	RoleFollower Role = iota
+	// RoleCandidate is mid-election.
+	RoleCandidate
+	// RoleLeader owns the log: it alone runs read-write transactions,
+	// and acks COMMIT only after a quorum holds the commit record.
+	RoleLeader
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleLeader:
+		return "leader"
+	case RoleCandidate:
+		return "candidate"
+	default:
+		return "follower"
+	}
+}
+
+// epoch marks the first LSN created under a leadership term. A node's
+// epoch table describes its own log: termAt(lsn) is the term of the
+// leadership that created the record at lsn. Followers adopt the
+// leader's table along with its records; a new leader appends one
+// entry at promotion. Two logs that agree on (head, termAt(head))
+// agree on everything up to head — the Raft log-matching argument,
+// with the table standing in for per-record term stamps.
+type epoch struct {
+	Term uint64   `json:"term"`
+	From core.LSN `json:"from"`
+}
+
+// ErrNotLeader is returned by WaitCommitted when leadership was lost
+// while waiting; the client must retry against the new leader, which
+// either has the commit (it survives) or never saw it (clean retry).
+var ErrNotLeader = errors.New("repl: not leader")
+
+// Config parameterises a cluster node.
+type Config struct {
+	NodeID uint64            // this node's id (must be a key in Peers)
+	Peers  map[uint64]string // node id → advertised address, all nodes
+	DB     *engine.DB        // engine opened with Options.Replicated
+	TL     *sim.Timeline
+
+	// Bootstrap starts this node as leader of term 1 instead of as an
+	// idle follower. Exactly one node per fresh cluster.
+	Bootstrap bool
+
+	HeartbeatInterval time.Duration // leader liveness cadence (default 50ms)
+	ElectionTimeout   time.Duration // base; randomized to [1x, 2x) (default 300ms)
+	BatchRecords      int           // max records per REPL_APPEND (default 256)
+	BatchBytes        int           // max payload bytes per batch (default 256 KiB)
+	MaxInflight       int           // shipping window, batches (default 4)
+	CommitWait        time.Duration // quorum-ack deadline for COMMIT (default 5s)
+
+	Client client.Options       // dial options for shipping/vote connections
+	Logf   func(string, ...any) // optional
+}
+
+func (c *Config) defaults() error {
+	if c.DB == nil || c.TL == nil {
+		return errors.New("repl: Config needs DB and TL")
+	}
+	if _, ok := c.Peers[c.NodeID]; !ok {
+		return fmt.Errorf("repl: node %d missing from peer map", c.NodeID)
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 300 * time.Millisecond
+	}
+	if c.BatchRecords <= 0 {
+		c.BatchRecords = 256
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 256 << 10
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4
+	}
+	if c.CommitWait <= 0 {
+		c.CommitWait = 5 * time.Second
+	}
+	return nil
+}
+
+type peerAck struct {
+	lsn       core.LSN
+	bytes     uint64
+	connected bool
+}
+
+// Node is one member of a replicated cluster. It implements the
+// server.Replicator surface: leadership queries, quorum commit waits,
+// and handling of the repl opcode family arriving on ordinary client
+// sessions.
+type Node struct {
+	cfg Config
+	db  *engine.DB
+
+	// applyMu serialises everything that replays into the engine:
+	// stream apply, snapshot install, and promotion. Sessions handling
+	// REPL_APPEND from a reconnecting leader contend here, never in
+	// the engine.
+	applyMu sync.Mutex
+	applier *engine.Applier
+	w       *sim.Worker // snapshot-install worker, guarded by applyMu
+
+	mu          sync.Mutex
+	cond        *sync.Cond // broadcast on commit advance / step-down
+	role        Role
+	term        uint64
+	votedFor    map[uint64]uint64 // term → candidate granted our vote
+	leaderID    uint64            // 0 = unknown
+	seenLeader  bool              // gates elections until first contact
+	lastContact time.Time
+	epochs      []epoch
+	commit      core.LSN           // quorum-replicated horizon (leader)
+	knownCommit core.LSN           // highest commit horizon seen from any leader
+	voteBar     core.LSN           // while head < voteBar: abstain from elections
+	acks        map[uint64]peerAck // leader: per-follower progress
+	shipStop    chan struct{}      // per-leadership shipper kill switch
+	stopped     bool
+
+	shipWG sync.WaitGroup
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	elections      atomic.Uint64
+	batchesShipped atomic.Uint64
+	recordsShipped atomic.Uint64
+	snapsSent      atomic.Uint64
+	snapsRecv      atomic.Uint64
+}
+
+// NewNode wires a node over an already-open replicated engine and
+// starts its election timer. A Bootstrap node assumes leadership of
+// term 1 immediately; everyone else idles as a follower until a leader
+// makes contact (so a cold standby never elects itself into an empty
+// cluster of one).
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:      cfg,
+		db:       cfg.DB,
+		votedFor: make(map[uint64]uint64),
+		acks:     make(map[uint64]peerAck),
+		stop:     make(chan struct{}),
+		w:        cfg.TL.NewWorker(),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	applier, err := cfg.DB.NewApplier(cfg.TL.NewWorker())
+	if err != nil {
+		return nil, err
+	}
+	n.applier = applier
+	if cfg.Bootstrap {
+		n.mu.Lock()
+		n.term = 1
+		n.votedFor[1] = cfg.NodeID
+		// Epoch from LSN 1: every record in the seed log (schema,
+		// preload) belongs to the bootstrap leadership.
+		n.noteEpochLocked(1, 1)
+		n.becomeLeaderLocked(1)
+		n.mu.Unlock()
+	}
+	n.wg.Add(2)
+	go n.electionLoop()
+	go n.commitTicker()
+	return n, nil
+}
+
+// Stop halts elections, shipping and commit waits. The engine is left
+// open (the server owns its lifecycle).
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.stopShippersLocked()
+	close(n.stop)
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	n.wg.Wait()
+	n.shipWG.Wait()
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// IsLeader reports whether this node currently owns the log.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == RoleLeader
+}
+
+// LeaderAddr returns the advertised address of the last known leader,
+// or "" when no leader is known (mid-election).
+func (n *Node) LeaderAddr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.leaderID == 0 {
+		return ""
+	}
+	return n.cfg.Peers[n.leaderID]
+}
+
+// leading reports whether this node is still leader of the given term.
+func (n *Node) leading(term uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == RoleLeader && n.term == term
+}
+
+// WaitCommitted blocks until the given LSN is replicated on a quorum,
+// then returns nil: the commit record survives any single failure,
+// because the next leader's electing majority intersects the acking
+// quorum and the up-to-date vote rule picks a member that has it.
+// Returns ErrNotLeader if leadership is lost first — the commit may or
+// may not survive, and the client-visible error says so.
+func (n *Node) WaitCommitted(lsn core.LSN) error {
+	if len(n.cfg.Peers) <= 1 {
+		return nil // single-node cluster: local durability is quorum
+	}
+	deadline := time.Now().Add(n.cfg.CommitWait)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if n.role != RoleLeader {
+			return ErrNotLeader
+		}
+		n.recomputeCommitLocked()
+		if n.commit >= lsn {
+			return nil
+		}
+		if n.stopped {
+			return ErrNotLeader
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("repl: no quorum ack for lsn %d within %v", lsn, n.cfg.CommitWait)
+		}
+		n.cond.Wait()
+	}
+}
+
+// commitTicker periodically wakes WaitCommitted waiters so deadlines
+// fire even when no acks arrive.
+func (n *Node) commitTicker() {
+	defer n.wg.Done()
+	t := time.NewTicker(20 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.cond.Broadcast()
+		}
+	}
+}
+
+// CommitLSN returns the quorum-replicated horizon (leader view).
+func (n *Node) CommitLSN() core.LSN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commit
+}
+
+// AppliedLSN returns the follower's replay horizon.
+func (n *Node) AppliedLSN() core.LSN { return n.applier.AppliedLSN() }
+
+// --- term & epoch bookkeeping ----------------------------------------
+
+// observeTerm steps down if a higher term is seen anywhere.
+func (n *Node) observeTerm(term uint64) {
+	n.mu.Lock()
+	n.observeTermLocked(term)
+	n.mu.Unlock()
+}
+
+func (n *Node) observeTermLocked(term uint64) {
+	if term <= n.term {
+		return
+	}
+	n.term = term
+	if n.role == RoleLeader {
+		n.logf("repl: node %d deposed by term %d", n.cfg.NodeID, term)
+		n.stopShippersLocked()
+	}
+	n.role = RoleFollower
+	n.leaderID = 0
+	n.cond.Broadcast()
+}
+
+// observeLeaderLocked processes contact from a node claiming to lead
+// `term`. Assumes term >= n.term already ensured by the caller.
+func (n *Node) observeLeaderLocked(term, leaderID uint64) {
+	n.observeTermLocked(term)
+	if term == n.term && n.role != RoleLeader {
+		n.role = RoleFollower
+		n.leaderID = leaderID
+		n.seenLeader = true
+		n.lastContact = time.Now()
+	}
+}
+
+func (n *Node) noteEpochLocked(term uint64, from core.LSN) {
+	if len(n.epochs) > 0 && n.epochs[len(n.epochs)-1].Term >= term {
+		return
+	}
+	n.epochs = append(n.epochs, epoch{Term: term, From: from})
+}
+
+// termAtLocked returns the term of the leadership that created the
+// record at lsn in this node's log (0 for the empty log).
+func (n *Node) termAtLocked(lsn core.LSN) uint64 {
+	for i := len(n.epochs) - 1; i >= 0; i-- {
+		if lsn >= n.epochs[i].From {
+			return n.epochs[i].Term
+		}
+	}
+	return 0
+}
+
+func (n *Node) termAt(lsn core.LSN) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.termAtLocked(lsn)
+}
+
+func (n *Node) epochsCopy() []epoch {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]epoch(nil), n.epochs...)
+}
+
+// appendPayload builds one REPL_APPEND frame with the current commit
+// horizon and epoch table.
+func (n *Node) appendPayload(term uint64, recs []wal.Record) []byte {
+	n.mu.Lock()
+	commit := n.commit
+	epochs := append([]epoch(nil), n.epochs...)
+	n.mu.Unlock()
+	return encodeAppend(term, n.cfg.NodeID, commit, epochs, recs)
+}
+
+// --- leader commit & ack tracking ------------------------------------
+
+// recomputeCommitLocked advances the quorum horizon: the highest LSN
+// held by a majority (leader head counts as one member). Monotone.
+func (n *Node) recomputeCommitLocked() {
+	if n.role != RoleLeader {
+		return
+	}
+	lsns := make([]core.LSN, 0, len(n.cfg.Peers))
+	lsns = append(lsns, n.db.WAL().Head())
+	for id := range n.cfg.Peers {
+		if id == n.cfg.NodeID {
+			continue
+		}
+		lsns = append(lsns, n.acks[id].lsn)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	if q := lsns[len(lsns)/2]; q > n.commit {
+		n.commit = q
+		n.cond.Broadcast()
+	}
+}
+
+// setAck records follower progress and re-derives the commit horizon
+// and the log retain floor (records below every connected follower's
+// ack can be truncated; a follower that reconnects from further back
+// is resynced by snapshot).
+func (n *Node) setAck(peerID uint64, lsn core.LSN, bytes uint64, connected bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != RoleLeader {
+		return
+	}
+	// No monotonicity clamp: a snapshot resync legitimately regresses
+	// a follower's log position, and overstating it would let commits
+	// ack without a real quorum.
+	n.acks[peerID] = peerAck{lsn: lsn, bytes: bytes, connected: connected}
+	n.recomputeCommitLocked()
+
+	floor := core.LSN(0)
+	for _, a := range n.acks {
+		if !a.connected {
+			continue
+		}
+		if floor == 0 || a.lsn+1 < floor {
+			floor = a.lsn + 1
+		}
+	}
+	n.db.WAL().SetRetainFloor(floor)
+}
+
+func (n *Node) setConnected(peerID uint64, connected bool) {
+	n.mu.Lock()
+	if a, ok := n.acks[peerID]; ok && a.connected != connected {
+		a.connected = connected
+		n.acks[peerID] = a
+	}
+	n.mu.Unlock()
+}
+
+// --- leadership transitions ------------------------------------------
+
+func (n *Node) becomeLeaderLocked(term uint64) {
+	n.role = RoleLeader
+	n.leaderID = n.cfg.NodeID
+	n.seenLeader = true
+	n.lastContact = time.Now()
+	n.acks = make(map[uint64]peerAck)
+	n.commit = 0
+	stop := make(chan struct{})
+	n.shipStop = stop
+	for id, addr := range n.cfg.Peers {
+		if id == n.cfg.NodeID {
+			continue
+		}
+		n.shipWG.Add(1)
+		go n.runShipper(term, id, addr, stop)
+	}
+	n.recomputeCommitLocked()
+}
+
+func (n *Node) stopShippersLocked() {
+	if n.shipStop != nil {
+		close(n.shipStop)
+		n.shipStop = nil
+	}
+	n.db.WAL().SetRetainFloor(0)
+}
+
+// electionLoop watches for leader silence and runs campaigns. A node
+// that has never heard from any leader stays quiet: fresh followers
+// wait to be adopted rather than electing themselves.
+func (n *Node) electionLoop() {
+	defer n.wg.Done()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(n.cfg.NodeID*0x9e3779b9)))
+	timeout := n.cfg.ElectionTimeout + time.Duration(rng.Int63n(int64(n.cfg.ElectionTimeout)))
+	tick := time.NewTicker(n.cfg.HeartbeatInterval / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+		}
+		n.mu.Lock()
+		if n.role == RoleLeader || !n.seenLeader || time.Since(n.lastContact) < timeout ||
+			n.db.WAL().Head() < n.voteBar {
+			n.mu.Unlock()
+			continue
+		}
+		// Leader is silent: campaign.
+		n.term++
+		term := n.term
+		n.role = RoleCandidate
+		n.votedFor[term] = n.cfg.NodeID
+		n.leaderID = 0
+		n.lastContact = time.Now()
+		lastLSN := n.db.WAL().Head()
+		lastTerm := n.termAtLocked(lastLSN)
+		n.mu.Unlock()
+		n.elections.Add(1)
+		n.logf("repl: node %d campaigning for term %d (log %d@%d)",
+			n.cfg.NodeID, term, lastLSN, lastTerm)
+
+		votes := n.requestVotes(term, lastLSN, lastTerm)
+		if votes*2 <= len(n.cfg.Peers) {
+			n.mu.Lock()
+			if n.role == RoleCandidate && n.term == term {
+				n.role = RoleFollower
+			}
+			n.mu.Unlock()
+			timeout = n.cfg.ElectionTimeout + time.Duration(rng.Int63n(int64(n.cfg.ElectionTimeout)))
+			continue
+		}
+		n.promoteAndLead(term)
+		timeout = n.cfg.ElectionTimeout + time.Duration(rng.Int63n(int64(n.cfg.ElectionTimeout)))
+	}
+}
+
+// promoteAndLead finishes a won election: open a new epoch, roll back
+// the dead leader's in-flight transactions (their abort records are
+// the first entries of the new epoch — the moral equivalent of Raft's
+// term-opening no-op), then start shipping. applyMu is held across
+// promotion so no stale stream records interleave with the rollback.
+func (n *Node) promoteAndLead(term uint64) {
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+	n.mu.Lock()
+	if n.term != term || n.role != RoleCandidate {
+		n.mu.Unlock()
+		return
+	}
+	n.noteEpochLocked(term, n.db.WAL().Head()+1)
+	n.mu.Unlock()
+
+	err := n.applier.Promote()
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err != nil {
+		n.logf("repl: node %d promote failed: %v", n.cfg.NodeID, err)
+		n.role = RoleFollower
+		return
+	}
+	if n.term != term || n.stopped {
+		n.role = RoleFollower
+		return
+	}
+	n.becomeLeaderLocked(term)
+	n.logf("repl: node %d elected leader for term %d", n.cfg.NodeID, term)
+}
+
+// requestVotes campaigns against every peer in parallel and returns
+// the number of grants including our own vote.
+func (n *Node) requestVotes(term uint64, lastLSN core.LSN, lastTerm uint64) int {
+	req := voteReq{Term: term, Candidate: n.cfg.NodeID, LastLSN: lastLSN, LastTerm: lastTerm}.encode()
+	opts := n.cfg.Client
+	opts.DialTimeout = n.cfg.ElectionTimeout / 2
+	opts.RequestTimeout = n.cfg.ElectionTimeout
+	opts.MaxRetries = 1
+	results := make(chan bool, len(n.cfg.Peers))
+	asked := 0
+	for id, addr := range n.cfg.Peers {
+		if id == n.cfg.NodeID {
+			continue
+		}
+		asked++
+		go func(addr string) {
+			granted := false
+			if c, err := client.Dial(addr, opts); err == nil {
+				if f, err := c.Do(wire.OpVoteReq, req); err == nil {
+					if vr, err := decodeVoteResp(f.Payload); err == nil {
+						if vr.Term > term {
+							n.observeTerm(vr.Term)
+						}
+						granted = vr.Granted && vr.Term == term
+					}
+				}
+				c.Close()
+			}
+			results <- granted
+		}(addr)
+	}
+	votes := 1
+	deadline := time.After(n.cfg.ElectionTimeout)
+	for i := 0; i < asked; i++ {
+		select {
+		case g := <-results:
+			if g {
+				votes++
+			}
+		case <-deadline:
+			return votes
+		case <-n.stop:
+			return votes
+		}
+		if votes*2 > len(n.cfg.Peers) {
+			return votes
+		}
+	}
+	return votes
+}
+
+// --- inbound frames ---------------------------------------------------
+
+// HandleFrame processes one repl-family request arriving on a server
+// session and returns (status, response payload). It implements the
+// server.Replicator interface.
+func (n *Node) HandleFrame(kind byte, payload []byte) (byte, []byte) {
+	switch kind {
+	case wire.OpReplHello:
+		return n.handleHello(payload)
+	case wire.OpReplAppend:
+		return n.handleAppend(payload)
+	case wire.OpReplSnap:
+		return n.handleSnap(payload)
+	case wire.OpVoteReq:
+		return n.handleVote(payload)
+	default:
+		return wire.StatusBadRequest, []byte(fmt.Sprintf("repl: unexpected opcode %d", kind))
+	}
+}
+
+func (n *Node) handleHello(payload []byte) (byte, []byte) {
+	h, err := decodeHelloReq(payload)
+	if err != nil {
+		return wire.StatusBadRequest, []byte(err.Error())
+	}
+	n.mu.Lock()
+	if h.Term >= n.term {
+		n.observeLeaderLocked(h.Term, h.NodeID)
+	}
+	head := n.db.WAL().Head()
+	resp := helloResp{
+		Term:          n.term,
+		Head:          head,
+		LastTerm:      n.termAtLocked(head),
+		AppendedBytes: n.db.WAL().AppendedBytes(),
+	}
+	n.mu.Unlock()
+	return wire.StatusOK, resp.encode()
+}
+
+func (n *Node) ackNow(term uint64, needSnap bool) ack {
+	return ack{
+		Term:          term,
+		Head:          n.db.WAL().Head(),
+		AppendedBytes: n.db.WAL().AppendedBytes(),
+		NeedSnap:      needSnap,
+	}
+}
+
+func (n *Node) handleAppend(payload []byte) (byte, []byte) {
+	term, leaderID, commit, epochs, recs, err := decodeAppend(payload)
+	if err != nil {
+		return wire.StatusBadRequest, []byte(err.Error())
+	}
+	n.mu.Lock()
+	if term < n.term || (term == n.term && n.role == RoleLeader) {
+		// Stale leader: tell it the real term so it steps down.
+		cur := n.term
+		n.mu.Unlock()
+		return wire.StatusOK, n.ackNow(cur, false).encode()
+	}
+	n.observeLeaderLocked(term, leaderID)
+	// Adopt the leader's epoch table with its records: our log is (a
+	// prefix of) the leader's, so its table describes ours.
+	n.epochs = append(n.epochs[:0], epochs...)
+	if commit > n.knownCommit {
+		n.knownCommit = commit
+	}
+	n.mu.Unlock()
+
+	needSnap := false
+	if len(recs) > 0 {
+		n.applyMu.Lock()
+		aerr := n.applier.Apply(recs)
+		n.applyMu.Unlock()
+		if aerr != nil {
+			n.logf("repl: node %d apply failed at head %d: %v",
+				n.cfg.NodeID, n.db.WAL().Head(), aerr)
+			needSnap = true
+		}
+	}
+	return wire.StatusOK, n.ackNow(term, needSnap).encode()
+}
+
+func (n *Node) handleSnap(payload []byte) (byte, []byte) {
+	term, leaderID, epochs, image, err := decodeSnap(payload)
+	if err != nil {
+		return wire.StatusBadRequest, []byte(err.Error())
+	}
+	n.mu.Lock()
+	if term < n.term || (term == n.term && n.role == RoleLeader) {
+		cur := n.term
+		n.mu.Unlock()
+		return wire.StatusOK, n.ackNow(cur, false).encode()
+	}
+	n.observeLeaderLocked(term, leaderID)
+	n.mu.Unlock()
+
+	var snap engine.ReplicaSnapshot
+	if err := json.Unmarshal(image, &snap); err != nil {
+		return wire.StatusBadRequest, []byte(fmt.Sprintf("repl: bad snapshot image: %v", err))
+	}
+	n.applyMu.Lock()
+	err = n.db.InstallSnapshot(n.w, &snap)
+	if err == nil {
+		n.applier.Resync()
+		n.mu.Lock()
+		n.epochs = append(n.epochs[:0], epochs...)
+		// A snapshot that splices our log below an LSN we know was
+		// quorum-committed makes our vote temporarily dangerous: until
+		// the stream restores the committed prefix, we might help
+		// elect a candidate that lacks acked commits. Abstain until
+		// our head regrows past the bar (milliseconds, normally: the
+		// leader that sent the snapshot streams the suffix next).
+		if snap.PrimeLSN < n.knownCommit && n.knownCommit > n.voteBar {
+			n.voteBar = n.knownCommit
+		}
+		n.mu.Unlock()
+		n.snapsRecv.Add(1)
+		n.logf("repl: node %d installed snapshot at lsn %d (%d pages)",
+			n.cfg.NodeID, snap.PrimeLSN, len(snap.Pages))
+	}
+	n.applyMu.Unlock()
+	if err != nil {
+		return wire.StatusInternal, []byte(err.Error())
+	}
+	return wire.StatusOK, n.ackNow(term, false).encode()
+}
+
+func (n *Node) handleVote(payload []byte) (byte, []byte) {
+	v, err := decodeVoteReq(payload)
+	if err != nil {
+		return wire.StatusBadRequest, []byte(err.Error())
+	}
+	n.mu.Lock()
+	n.observeTermLocked(v.Term)
+	granted := false
+	myLast := n.db.WAL().Head()
+	if v.Term == n.term && n.role != RoleLeader && myLast >= n.voteBar {
+		prev, voted := n.votedFor[v.Term]
+		myLastTerm := n.termAtLocked(myLast)
+		upToDate := v.LastTerm > myLastTerm ||
+			(v.LastTerm == myLastTerm && v.LastLSN >= myLast)
+		if (!voted || prev == v.Candidate) && upToDate {
+			n.votedFor[v.Term] = v.Candidate
+			granted = true
+			// A granted vote counts as cluster contact: restart the
+			// election timer and let this node campaign later if the
+			// candidate also dies.
+			n.lastContact = time.Now()
+			n.seenLeader = true
+		}
+	}
+	resp := voteResp{Term: n.term, Granted: granted}
+	n.mu.Unlock()
+	return wire.StatusOK, resp.encode()
+}
+
+// --- stats ------------------------------------------------------------
+
+// PeerStats is one follower's replication progress as the leader sees
+// it.
+type PeerStats struct {
+	Addr       string `json:"addr"`
+	Connected  bool   `json:"connected"`
+	AckedLSN   uint64 `json:"acked_lsn"`
+	LagRecords uint64 `json:"lag_records"`
+	// LagBytes is byte-exact for followers that streamed from LSN 1;
+	// a snapshot-joined follower's byte counter restarts at 0, so its
+	// lag reads high until the next leadership change.
+	LagBytes uint64 `json:"lag_bytes"`
+}
+
+// Stats is the node's replication snapshot for /stats.
+type Stats struct {
+	NodeID        uint64               `json:"node_id"`
+	Role          string               `json:"role"`
+	Term          uint64               `json:"term"`
+	LeaderID      uint64               `json:"leader_id"`
+	LeaderAddr    string               `json:"leader_addr"`
+	HeadLSN       uint64               `json:"head_lsn"`
+	CommitLSN     uint64               `json:"commit_lsn"`
+	AppliedLSN    uint64               `json:"applied_lsn"`
+	Elections     uint64               `json:"elections"`
+	BatchesSent   uint64               `json:"batches_sent"`
+	RecordsSent   uint64               `json:"records_sent"`
+	SnapshotsSent uint64               `json:"snapshots_sent"`
+	SnapshotsRecv uint64               `json:"snapshots_received"`
+	Peers         map[string]PeerStats `json:"peers,omitempty"`
+}
+
+// StatsDoc implements server.Replicator.
+func (n *Node) StatsDoc() any { return n.Stats() }
+
+// Stats snapshots the node's replication state.
+func (n *Node) Stats() Stats {
+	head := n.db.WAL().Head()
+	headBytes := n.db.WAL().AppendedBytes()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := Stats{
+		NodeID:        n.cfg.NodeID,
+		Role:          n.role.String(),
+		Term:          n.term,
+		LeaderID:      n.leaderID,
+		LeaderAddr:    n.cfg.Peers[n.leaderID],
+		HeadLSN:       uint64(head),
+		CommitLSN:     uint64(n.commit),
+		AppliedLSN:    uint64(n.applier.AppliedLSN()),
+		Elections:     n.elections.Load(),
+		BatchesSent:   n.batchesShipped.Load(),
+		RecordsSent:   n.recordsShipped.Load(),
+		SnapshotsSent: n.snapsSent.Load(),
+		SnapshotsRecv: n.snapsRecv.Load(),
+	}
+	if n.role == RoleLeader && len(n.acks) > 0 {
+		s.Peers = make(map[string]PeerStats, len(n.acks))
+		for id, a := range n.acks {
+			ps := PeerStats{
+				Addr:      n.cfg.Peers[id],
+				Connected: a.connected,
+				AckedLSN:  uint64(a.lsn),
+			}
+			if head > a.lsn {
+				ps.LagRecords = uint64(head - a.lsn)
+			}
+			if headBytes > a.bytes {
+				ps.LagBytes = headBytes - a.bytes
+			}
+			s.Peers[fmt.Sprintf("node-%d", id)] = ps
+		}
+	}
+	return s
+}

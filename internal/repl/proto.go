@@ -1,0 +1,294 @@
+// Package repl is the replication layer over the storage engine: a
+// primary ships its WAL — the contiguously-published, gap-free record
+// stream PR 9's log exposes — to followers that replay it with exact
+// LSN parity, serve MVCC snapshot reads at their applied horizon, and
+// elect a replacement primary (Raft-style term/vote/heartbeat) when the
+// leader dies. See DESIGN.md "Replication & failover" for the safety
+// argument.
+//
+// This file is the wire codec for the repl opcode family. Requests ride
+// the ordinary frame format (internal/wire); responses are StatusOK
+// frames whose payload leads with a tag byte (wire.OpReplAck /
+// wire.OpVoteResp) because response frames carry a status, not an
+// opcode.
+package repl
+
+import (
+	"fmt"
+
+	"ipa/internal/core"
+	"ipa/internal/wal"
+	"ipa/internal/wire"
+)
+
+// helloReq is REPL_HELLO: a leader introducing itself to a follower and
+// asking where its log ends.
+type helloReq struct {
+	NodeID uint64
+	Term   uint64
+}
+
+func (h helloReq) encode() []byte {
+	return wire.NewBuilder(16).Uint64(h.NodeID).Uint64(h.Term).Bytes()
+}
+
+func decodeHelloReq(p []byte) (helloReq, error) {
+	r := wire.NewReader(p)
+	h := helloReq{NodeID: r.Uint64(), Term: r.Uint64()}
+	return h, r.Err()
+}
+
+// helloResp reports the follower's log position: head LSN, the term
+// under which its last record was shipped (the Raft prev-term
+// consistency check, done once per connection), and its appended-bytes
+// counter (the byte-exact lag metric).
+type helloResp struct {
+	Term          uint64
+	Head          core.LSN
+	LastTerm      uint64
+	AppendedBytes uint64
+}
+
+func (h helloResp) encode() []byte {
+	return wire.NewBuilder(32).
+		Uint64(h.Term).Uint64(uint64(h.Head)).Uint64(h.LastTerm).Uint64(h.AppendedBytes).Bytes()
+}
+
+func decodeHelloResp(p []byte) (helloResp, error) {
+	r := wire.NewReader(p)
+	h := helloResp{
+		Term:          r.Uint64(),
+		Head:          core.LSN(r.Uint64()),
+		LastTerm:      r.Uint64(),
+		AppendedBytes: r.Uint64(),
+	}
+	return h, r.Err()
+}
+
+// ack is the response payload of REPL_APPEND and REPL_SNAPSHOT.
+type ack struct {
+	Term          uint64
+	Head          core.LSN // follower's applied horizon
+	AppendedBytes uint64
+	NeedSnap      bool // apply failed (gap/divergence); send a snapshot
+}
+
+func (a ack) encode() []byte {
+	b := wire.NewBuilder(32)
+	b.Uint16(uint16(wire.OpReplAck)) // tag
+	b.Uint64(a.Term).Uint64(uint64(a.Head)).Uint64(a.AppendedBytes)
+	if a.NeedSnap {
+		b.Uint16(1)
+	} else {
+		b.Uint16(0)
+	}
+	return b.Bytes()
+}
+
+func decodeAck(p []byte) (ack, error) {
+	r := wire.NewReader(p)
+	if tag := r.Uint16(); r.Err() == nil && tag != uint16(wire.OpReplAck) {
+		return ack{}, fmt.Errorf("repl: response tag %d is not REPL_ACK", tag)
+	}
+	a := ack{
+		Term:          r.Uint64(),
+		Head:          core.LSN(r.Uint64()),
+		AppendedBytes: r.Uint64(),
+	}
+	a.NeedSnap = r.Uint16() != 0
+	return a, r.Err()
+}
+
+// voteReq is VOTE_REQ: a candidate asking for this term, carrying its
+// log position for the up-to-date check.
+type voteReq struct {
+	Term      uint64
+	Candidate uint64
+	LastLSN   core.LSN
+	LastTerm  uint64
+}
+
+func (v voteReq) encode() []byte {
+	return wire.NewBuilder(32).
+		Uint64(v.Term).Uint64(v.Candidate).Uint64(uint64(v.LastLSN)).Uint64(v.LastTerm).Bytes()
+}
+
+func decodeVoteReq(p []byte) (voteReq, error) {
+	r := wire.NewReader(p)
+	v := voteReq{
+		Term:      r.Uint64(),
+		Candidate: r.Uint64(),
+		LastLSN:   core.LSN(r.Uint64()),
+		LastTerm:  r.Uint64(),
+	}
+	return v, r.Err()
+}
+
+// voteResp answers a VOTE_REQ.
+type voteResp struct {
+	Term    uint64
+	Granted bool
+}
+
+func (v voteResp) encode() []byte {
+	b := wire.NewBuilder(16)
+	b.Uint16(uint16(wire.OpVoteResp)) // tag
+	b.Uint64(v.Term)
+	if v.Granted {
+		b.Uint16(1)
+	} else {
+		b.Uint16(0)
+	}
+	return b.Bytes()
+}
+
+func decodeVoteResp(p []byte) (voteResp, error) {
+	r := wire.NewReader(p)
+	if tag := r.Uint16(); r.Err() == nil && tag != uint16(wire.OpVoteResp) {
+		return voteResp{}, fmt.Errorf("repl: response tag %d is not VOTE_RESP", tag)
+	}
+	v := voteResp{Term: r.Uint64()}
+	v.Granted = r.Uint16() != 0
+	return v, r.Err()
+}
+
+// --- WAL record batches (REPL_APPEND) --------------------------------
+
+// encodeAppend packs a batch of WAL records (empty = heartbeat), along
+// with the leader's commit horizon and epoch table. The follower
+// adopts the epochs with the records: a record's term is the term of
+// the leadership that CREATED it, which only the epoch table knows — a
+// new leader re-ships old-term records, so tagging them with the
+// shipping term would make every failover look like divergence. The
+// commit horizon feeds the follower's vote bar: it must never help
+// elect a candidate whose log ends below an LSN it knows was
+// quorum-committed.
+func encodeAppend(term, leaderID uint64, commit core.LSN, epochs []epoch, recs []wal.Record) []byte {
+	size := 40 + 16*len(epochs)
+	for _, r := range recs {
+		size += r.Size() + 64
+	}
+	b := wire.NewBuilder(size)
+	b.Uint64(term).Uint64(leaderID).Uint64(uint64(commit))
+	b.Uint32(uint32(len(epochs)))
+	for _, e := range epochs {
+		b.Uint64(e.Term).Uint64(uint64(e.From))
+	}
+	b.Uint32(uint32(len(recs)))
+	for _, r := range recs {
+		encodeRecord(b, r)
+	}
+	return b.Bytes()
+}
+
+func decodeAppend(p []byte) (term, leaderID uint64, commit core.LSN, epochs []epoch, recs []wal.Record, err error) {
+	r := wire.NewReader(p)
+	term, leaderID = r.Uint64(), r.Uint64()
+	commit = core.LSN(r.Uint64())
+	ne := int(r.Uint32())
+	if r.Err() == nil && ne > 0 {
+		epochs = make([]epoch, 0, ne)
+		for i := 0; i < ne; i++ {
+			epochs = append(epochs, epoch{Term: r.Uint64(), From: core.LSN(r.Uint64())})
+		}
+	}
+	n := int(r.Uint32())
+	if err := r.Err(); err != nil {
+		return 0, 0, 0, nil, nil, err
+	}
+	if n > 0 {
+		recs = make([]wal.Record, 0, n)
+		for i := 0; i < n; i++ {
+			rec, derr := decodeRecord(r)
+			if derr != nil {
+				return 0, 0, 0, nil, nil, derr
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return term, leaderID, commit, epochs, recs, r.Err()
+}
+
+// encodeRecord serialises one wal.Record, including the checkpoint
+// tables (so shipped checkpoints keep LSN parity and drive
+// follower-local truncation).
+func encodeRecord(b *wire.Builder, r wal.Record) {
+	b.Uint64(uint64(r.LSN))
+	b.Uint16(uint16(r.Type))
+	b.Uint64(r.TxID)
+	b.Uint64(uint64(r.PrevLSN))
+	b.Uint64(uint64(r.Page))
+	b.Uint16(uint16(r.Op))
+	b.Uint16(r.Slot)
+	b.Uint64(uint64(r.UndoNext))
+	b.Blob(r.Before)
+	b.Blob(r.After)
+	b.Blob(r.Meta)
+	b.Uint32(uint32(len(r.ActiveTxs)))
+	for id, lsn := range r.ActiveTxs {
+		b.Uint64(id).Uint64(uint64(lsn))
+	}
+	b.Uint32(uint32(len(r.DirtyPages)))
+	for id, lsn := range r.DirtyPages {
+		b.Uint64(uint64(id)).Uint64(uint64(lsn))
+	}
+}
+
+func decodeRecord(r *wire.Reader) (wal.Record, error) {
+	rec := wal.Record{
+		LSN:     core.LSN(r.Uint64()),
+		Type:    wal.RecType(r.Uint16()),
+		TxID:    r.Uint64(),
+		PrevLSN: core.LSN(r.Uint64()),
+		Page:    core.PageID(r.Uint64()),
+		Op:      wal.PageOp(r.Uint16()),
+		Slot:    r.Uint16(),
+	}
+	rec.UndoNext = core.LSN(r.Uint64())
+	rec.Before = r.Blob()
+	rec.After = r.Blob()
+	rec.Meta = r.Blob()
+	if n := int(r.Uint32()); n > 0 && r.Err() == nil {
+		rec.ActiveTxs = make(map[uint64]core.LSN, n)
+		for i := 0; i < n; i++ {
+			id, lsn := r.Uint64(), core.LSN(r.Uint64())
+			rec.ActiveTxs[id] = lsn
+		}
+	}
+	if n := int(r.Uint32()); n > 0 && r.Err() == nil {
+		rec.DirtyPages = make(map[core.PageID]core.LSN, n)
+		for i := 0; i < n; i++ {
+			id, lsn := core.PageID(r.Uint64()), core.LSN(r.Uint64())
+			rec.DirtyPages[id] = lsn
+		}
+	}
+	return rec, r.Err()
+}
+
+// encodeSnap packs a REPL_SNAPSHOT: the leader's term, id and epoch
+// table (the follower adopts it — its log history is now the leader's),
+// plus the JSON engine image.
+func encodeSnap(term, leaderID uint64, epochs []epoch, image []byte) []byte {
+	b := wire.NewBuilder(32 + 16*len(epochs) + len(image))
+	b.Uint64(term).Uint64(leaderID)
+	b.Uint32(uint32(len(epochs)))
+	for _, e := range epochs {
+		b.Uint64(e.Term).Uint64(uint64(e.From))
+	}
+	b.Blob(image)
+	return b.Bytes()
+}
+
+func decodeSnap(p []byte) (term, leaderID uint64, epochs []epoch, image []byte, err error) {
+	r := wire.NewReader(p)
+	term, leaderID = r.Uint64(), r.Uint64()
+	n := int(r.Uint32())
+	if r.Err() == nil && n > 0 {
+		epochs = make([]epoch, 0, n)
+		for i := 0; i < n; i++ {
+			epochs = append(epochs, epoch{Term: r.Uint64(), From: core.LSN(r.Uint64())})
+		}
+	}
+	image = r.Blob()
+	return term, leaderID, epochs, image, r.Err()
+}

@@ -27,17 +27,32 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ipa/internal/core"
 	"ipa/internal/engine"
 	"ipa/internal/metrics"
 	"ipa/internal/sim"
 	"ipa/internal/wire"
 )
 
+// Replicator is the server's view of the replication layer
+// (internal/repl implements it). When configured, sessions route the
+// repl opcode family to HandleFrame, refuse read-write transactions on
+// non-leaders with StatusRedirect, and hold COMMIT responses until the
+// commit record is quorum-replicated.
+type Replicator interface {
+	IsLeader() bool
+	LeaderAddr() string // "" when no leader is known
+	WaitCommitted(lsn core.LSN) error
+	HandleFrame(kind byte, payload []byte) (status byte, resp []byte)
+	StatsDoc() any
+}
+
 // Config parameterises a Server. Zero values select the defaults noted
 // on each field.
 type Config struct {
 	DB       *engine.DB    // required
 	Timeline *sim.Timeline // optional; sessions run with nil workers without it
+	Repl     Replicator    // optional; nil runs a standalone server
 
 	MaxInflight    int           // global in-flight request cap (default 256)
 	AcquireTimeout time.Duration // admission wait before StatusBusy (default 2s)
@@ -94,6 +109,7 @@ type StatsDocument struct {
 	Engine engine.Stats                       `json:"engine"`
 	Ops    map[string]metrics.LatencySnapshot `json:"ops"`
 	Server Counters                           `json:"server"`
+	Repl   any                                `json:"repl,omitempty"`
 }
 
 // Server accepts wire-protocol connections and maps them onto a DB.
@@ -290,7 +306,7 @@ func (s *Server) StatsDocument() (StatsDocument, error) {
 	for name, l := range lats {
 		ops[name] = l.Snapshot()
 	}
-	return StatsDocument{
+	doc := StatsDocument{
 		Engine: es,
 		Ops:    ops,
 		Server: Counters{
@@ -302,5 +318,42 @@ func (s *Server) StatsDocument() (StatsDocument, error) {
 			PoisonedAborts: s.poisonedAborts.Load(),
 			Draining:       s.draining.Load(),
 		},
-	}, nil
+	}
+	if s.cfg.Repl != nil {
+		doc.Repl = s.cfg.Repl.StatsDoc()
+	}
+	return doc, nil
+}
+
+// Kill force-stops the server: it closes the listener and every live
+// connection without draining queued requests, aborting orphans, or
+// closing the database. This is the failover tests' stand-in for a
+// crashed process — the engine is simply abandoned mid-flight, exactly
+// as a power cut would leave it.
+func (s *Server) Kill() {
+	s.draining.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.conn.Close()
+	}
+	s.closeAdmin()
+	done := make(chan struct{})
+	go func() {
+		s.sessWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		s.cfg.Logf("server: kill: sessions still draining after 5s")
+	}
 }

@@ -152,7 +152,7 @@ func (s *session) reply(id uint64, status byte, payload []byte) {
 func (s *session) handle(f wire.Frame) {
 	start := time.Now()
 	admitted := false
-	if !s.txExempt(f) {
+	if !s.txExempt(f) && !sysExempt(f.Kind) {
 		timer := time.NewTimer(s.srv.cfg.AcquireTimeout)
 		select {
 		case s.srv.inflight <- struct{}{}:
@@ -178,7 +178,7 @@ func (s *session) handle(f wire.Frame) {
 func (s *session) txExempt(f wire.Frame) bool {
 	switch f.Kind {
 	case wire.OpCommit, wire.OpAbort, wire.OpInsert,
-		wire.OpUpdate, wire.OpUpdateField, wire.OpDelete,
+		wire.OpUpdate, wire.OpUpdateField, wire.OpAddField, wire.OpDelete,
 		wire.OpSnapshotRead, wire.OpSnapshotScan:
 	default:
 		return false
@@ -188,6 +188,18 @@ func (s *session) txExempt(f wire.Frame) bool {
 	}
 	_, open := s.txs[binary.BigEndian.Uint64(f.Payload[:8])]
 	return open
+}
+
+// sysExempt reports whether an op bypasses admission entirely:
+// handshakes and replication traffic. Starving a REPL_APPEND behind
+// client load would stall the very stream that lets commits ack.
+func sysExempt(kind byte) bool {
+	switch kind {
+	case wire.OpHello, wire.OpReplHello, wire.OpReplAppend,
+		wire.OpReplSnap, wire.OpVoteReq:
+		return true
+	}
+	return false
 }
 
 // errPayload encodes an error response body.
@@ -249,10 +261,42 @@ func (s *session) tx(id uint64) (*engine.Tx, bool, bool) {
 // and its COMMIT aborts instead — so a client that pipelines
 // BEGIN..COMMIT blindly can never commit a half-applied transaction.
 func (s *session) exec(f wire.Frame) (byte, []byte) {
+	// In a cluster, only the leader runs read-write transactions and
+	// latest-committed reads (a follower's heap holds applied-but-
+	// uncommitted stream data that only MVCC snapshot reads may see).
+	// Everything else — snapshot ops, stats, handshakes, replication —
+	// is served by any node.
+	if rep := s.srv.cfg.Repl; rep != nil && !rep.IsLeader() {
+		switch f.Kind {
+		case wire.OpBegin, wire.OpCommit, wire.OpAbort, wire.OpInsert,
+			wire.OpRead, wire.OpUpdate, wire.OpUpdateField, wire.OpAddField,
+			wire.OpDelete, wire.OpScan:
+			addr := rep.LeaderAddr()
+			return wire.StatusRedirect, wire.NewBuilder(len(addr) + 4).String(addr).Bytes()
+		}
+	}
+
 	r := wire.NewReader(f.Payload)
 	switch f.Kind {
 	case wire.OpPing:
 		return wire.StatusOK, nil
+
+	case wire.OpHello:
+		if len(f.Payload) != 1 {
+			return wire.StatusBadRequest, errPayload("malformed HELLO")
+		}
+		if f.Payload[0] != wire.ProtoVersion {
+			return wire.StatusBadRequest, errPayload(fmt.Sprintf(
+				"protocol version mismatch: client speaks %d, server speaks %d",
+				f.Payload[0], wire.ProtoVersion))
+		}
+		return wire.StatusOK, nil
+
+	case wire.OpReplHello, wire.OpReplAppend, wire.OpReplSnap, wire.OpVoteReq:
+		if s.srv.cfg.Repl == nil {
+			return wire.StatusBadRequest, errPayload("replication not configured on this server")
+		}
+		return s.srv.cfg.Repl.HandleFrame(f.Kind, f.Payload)
 
 	case wire.OpBegin:
 		id := r.Uint64()
@@ -293,6 +337,17 @@ func (s *session) exec(f wire.Frame) (byte, []byte) {
 		var err error
 		if f.Kind == wire.OpCommit {
 			err = tx.Commit()
+			if err == nil && s.srv.cfg.Repl != nil {
+				// Semi-synchronous commit: the record is durable
+				// locally, but the client's ack waits for a quorum so
+				// the commit survives this node's death. On failure
+				// the commit MAY still survive (the error says so);
+				// the safe direction, since the client retries reads.
+				if werr := s.srv.cfg.Repl.WaitCommitted(tx.CommitLSN()); werr != nil {
+					return wire.StatusInternal, errPayload(
+						"commit durable locally but not quorum-acknowledged: " + werr.Error())
+				}
+			}
 		} else {
 			err = tx.Abort()
 		}
@@ -355,6 +410,16 @@ func (s *session) exec(f wire.Frame) (byte, []byte) {
 		}
 		return s.mutate(id, name, func(tx *engine.Tx, tbl *engine.Table) error {
 			return tbl.UpdateField(tx, coreRID(rid), int(off), val)
+		})
+
+	case wire.OpAddField:
+		id, name, rid := r.Uint64(), r.String(), r.RID()
+		off, delta := r.Uint32(), r.Uint64()
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		return s.mutate(id, name, func(tx *engine.Tx, tbl *engine.Table) error {
+			return tbl.AddField(tx, coreRID(rid), int(off), delta)
 		})
 
 	case wire.OpDelete:

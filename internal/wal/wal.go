@@ -68,6 +68,13 @@ const (
 	RecEnd   // rollback or commit processing finished
 	RecCLR   // compensation record written during undo
 	RecCheckpoint
+	// RecAlloc and RecTable make the log self-describing for log-shipping
+	// replication (engine.Options.Replicated): a follower rebuilds the
+	// page directory and catalog from the stream alone. Meta carries the
+	// binding (page → region/table, table → region/id); neither record is
+	// transactional — they have no TxID chain and recovery ignores them.
+	RecAlloc
+	RecTable
 )
 
 func (t RecType) String() string {
@@ -86,6 +93,10 @@ func (t RecType) String() string {
 		return "CLR"
 	case RecCheckpoint:
 		return "CHECKPOINT"
+	case RecAlloc:
+		return "ALLOC"
+	case RecTable:
+		return "TABLE"
 	default:
 		return fmt.Sprintf("RecType(%d)", uint8(t))
 	}
@@ -125,6 +136,10 @@ type Record struct {
 	// CLR only: next record to undo for this transaction.
 	UndoNext core.LSN
 
+	// Meta is the self-description payload of RecAlloc/RecTable records
+	// (replicated mode). Copied into log-owned storage like the images.
+	Meta []byte
+
 	// Checkpoint payload: active transactions (txID → lastLSN) and dirty
 	// pages (page → recLSN).
 	ActiveTxs  map[uint64]core.LSN
@@ -140,7 +155,7 @@ type Record struct {
 // charged a flat 16 B per entry — payload only, no per-entry or
 // per-table overhead — under-counting every checkpoint record.
 func (r Record) Size() int {
-	n := 48 + len(r.Before) + len(r.After)
+	n := 48 + len(r.Before) + len(r.After) + len(r.Meta)
 	if r.Type == RecCheckpoint {
 		n += 16 + 24*(len(r.ActiveTxs)+len(r.DirtyPages))
 	}
@@ -281,6 +296,11 @@ type Log struct {
 	tailBytes atomic.Uint64 // bytes reclaimed
 	capacity  uint64        // log device size; 0 = unbounded
 
+	// retainFloor clamps Truncate: records at or above the floor survive
+	// reclamation because a replication cursor still needs to ship them
+	// (0 = no floor). See SetRetainFloor.
+	retainFloor atomic.Uint64
+
 	commitWindow time.Duration
 
 	// Group-flush state: one leader flushes on behalf of every committer
@@ -323,7 +343,7 @@ func (l *Log) Append(r Record) core.LSN {
 	size := uint64(r.Size())
 	l.headBytes.Add(size)
 	seg := l.segment(lsn)
-	if n := len(r.Before) + len(r.After); n > 0 {
+	if n := len(r.Before) + len(r.After) + len(r.Meta); n > 0 {
 		buf := seg.reserveImages(n)
 		if nb := len(r.Before); nb > 0 {
 			copy(buf, r.Before)
@@ -333,6 +353,11 @@ func (l *Log) Append(r Record) core.LSN {
 			off := len(r.Before)
 			copy(buf[off:], r.After)
 			r.After = buf[off : off+na : off+na]
+		}
+		if nm := len(r.Meta); nm > 0 {
+			off := len(r.Before) + len(r.After)
+			copy(buf[off:], r.Meta)
+			r.Meta = buf[off : off+nm : off+nm]
 		}
 	}
 	s := &seg.slots[(uint64(lsn)-1)&segMask]
@@ -673,6 +698,11 @@ func (l *Log) Truncate(lsn core.LSN) {
 	if max := core.LSN(l.published.Load()) + 1; lsn > max {
 		lsn = max
 	}
+	// Honour the replication retain floor: a connected follower's cursor
+	// must never find its next record truncated away.
+	if floor := core.LSN(l.retainFloor.Load()); floor != 0 && lsn > floor {
+		lsn = floor
+	}
 	if lsn <= first {
 		return
 	}
@@ -707,6 +737,92 @@ func (l *Log) Truncate(lsn core.LSN) {
 			segs:     append([]*segment(nil), r.segs[drop:]...),
 		})
 	}
+}
+
+// ReadFrom returns a batch of consecutive records starting at exactly
+// `from`, bounded by maxRecords and maxBytes (≤ 0 means unbounded), up
+// to the contiguous published horizon. It is the replication shipping
+// cursor: unlike Scan — which silently skips over truncated segments to
+// the new tail — a cursor that has fallen behind the tail gets a clean
+// error wrapping ErrTruncated ("horizon behind tail"), including when it
+// resumes exactly at a retired-segment edge after a Truncate. The caller
+// (the shipping loop) reacts by switching to a full snapshot resync; a
+// zero record here would silently corrupt the follower's log.
+//
+// An empty batch with a nil error means the cursor is caught up with the
+// published horizon.
+func (l *Log) ReadFrom(from core.LSN, maxRecords, maxBytes int) ([]Record, error) {
+	if from < 1 {
+		from = 1
+	}
+	// Horizon before ring snapshot, same as Scan: the snapshot then
+	// covers every LSN ≤ limit that has not been truncated meanwhile.
+	limit := core.LSN(l.published.Load())
+	r := l.ring.Load()
+	if f := core.LSN(l.first.Load()); from < f {
+		return nil, fmt.Errorf("%w: cursor horizon %d behind log tail %d", ErrTruncated, from, f)
+	}
+	var out []Record
+	var bytes int
+	var seg *segment
+	for lsn := from; lsn <= limit; lsn++ {
+		if maxRecords > 0 && len(out) >= maxRecords {
+			break
+		}
+		if seg == nil || lsn >= seg.firstLSN+segRecords {
+			if seg = r.segmentOf(lsn); seg == nil {
+				// A concurrent truncation retired the segment under the
+				// cursor — the records are gone, not skippable.
+				return nil, fmt.Errorf("%w: cursor horizon %d behind log tail %d",
+					ErrTruncated, lsn, core.LSN(l.first.Load()))
+			}
+		}
+		rec := seg.slots[(uint64(lsn)-1)&segMask].rec
+		if maxBytes > 0 && bytes > 0 && bytes+rec.Size() > maxBytes {
+			break
+		}
+		bytes += rec.Size()
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// SetRetainFloor pins the truncation horizon for replication: Truncate
+// never drops records with LSN ≥ floor while the floor is set (0 clears
+// it). The leader keeps the floor at the minimum acked LSN + 1 of its
+// connected followers so their cursors never hit ErrTruncated in steady
+// state; a follower that falls too far behind is dropped from the floor
+// and resynced by snapshot instead of pinning the log forever.
+func (l *Log) SetRetainFloor(floor core.LSN) { l.retainFloor.Store(uint64(floor)) }
+
+// AppendedBytes is the total log volume ever appended (monotonic, never
+// reduced by truncation). Two logs holding the same record stream report
+// the same value, which is what makes leader-minus-follower the exact
+// replication lag in bytes. Lock-free.
+func (l *Log) AppendedBytes() uint64 { return l.headBytes.Load() }
+
+// Reset reinitialises the log in place to an empty state positioned at
+// head: the next append receives LSN head+1, the tail and durable
+// horizon sit at head, and all retained records are dropped. Installing
+// a replica snapshot uses this to splice the follower's log onto the
+// primary's LSN sequence; it must happen in place (not by swapping the
+// Log pointer) because long-lived goroutines — the MVCC reaper, the
+// maintenance loop — captured this instance. The caller guarantees no
+// concurrent appends or reads (the engine holds its state latch
+// exclusively).
+func (l *Log) Reset(head core.LSN) {
+	l.ringMu.Lock()
+	defer l.ringMu.Unlock()
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.next.Store(uint64(head) + 1)
+	l.published.Store(uint64(head))
+	l.first.Store(uint64(head) + 1)
+	l.flushed.Store(uint64(head))
+	l.ring.Store(&ring{firstSeg: segNum(head + 1)})
+	l.headBytes.Store(0)
+	l.tailBytes.Store(0)
+	l.retainFloor.Store(0)
 }
 
 // UsedBytes is the live log volume. Lock-free: tail is read before head

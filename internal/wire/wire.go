@@ -29,6 +29,16 @@
 //	BEGIN_SNAPSHOT txid u64                       → snapshot LSN u64
 //	SNAPREAD     txid u64, table str, rid         → data bytes
 //	SNAPSCAN     txid u64, table str, limit u32   → count u32, count×(rid, data bytes)
+//	HELLO        version u8                       → — (BAD_REQUEST on mismatch)
+//
+// Replication ops (see internal/repl for payload codecs): REPL_HELLO
+// negotiates a shipping cursor, REPL_APPEND carries batched WAL records
+// (an empty batch is a heartbeat) and is answered by an OK response
+// whose payload starts with the REPL_ACK tag byte, REPL_SNAPSHOT ships
+// a full engine image to a follower too far behind the truncated log,
+// and VOTE_REQ/VOTE_RESP run leader election. A write sent to a
+// follower gets STATUS_REDIRECT with the leader's address so the client
+// pool can re-resolve.
 //
 // The snapshot ops require the server's engine to run with MVCC
 // enabled; BEGIN_SNAPSHOT pins a read-only snapshot transaction whose
@@ -70,7 +80,22 @@ const (
 	OpBeginSnapshot
 	OpSnapshotRead
 	OpSnapshotScan
+	OpHello      // version byte → — (BAD_REQUEST on mismatch)
+	OpReplHello  // node id u64, term u64, from LSN u64 → term u64, start LSN u64
+	OpReplAppend // term u64, leader u64, commit LSN u64, count u32, count×record
+	OpReplAck    // tag byte in responses: term u64, acked LSN u64, appended bytes u64
+	OpReplSnap   // term u64, leader u64, snapshot blob → ack
+	OpVoteReq    // term u64, candidate u64, last LSN u64
+	OpVoteResp   // tag byte in responses: term u64, granted u8
+	OpAddField   // tx u64, table, rid, off u32, delta u64: locked server-side +=
 )
+
+// ProtoVersion is the protocol revision byte carried by OpHello. Peers
+// (clients and replicas alike) send it before anything else; a server
+// that sees a different version answers BAD_REQUEST instead of
+// misparsing the frames that would follow. Bumped whenever the opcode
+// family or a payload layout changes incompatibly.
+const ProtoVersion byte = 1
 
 // OpName returns the wire name of an opcode (used as the metrics key of
 // the server's per-op latency histograms).
@@ -104,6 +129,22 @@ func OpName(op byte) string {
 		return "SNAPREAD"
 	case OpSnapshotScan:
 		return "SNAPSCAN"
+	case OpHello:
+		return "HELLO"
+	case OpReplHello:
+		return "REPL_HELLO"
+	case OpReplAppend:
+		return "REPL_APPEND"
+	case OpReplAck:
+		return "REPL_ACK"
+	case OpReplSnap:
+		return "REPL_SNAPSHOT"
+	case OpVoteReq:
+		return "VOTE_REQ"
+	case OpVoteResp:
+		return "VOTE_RESP"
+	case OpAddField:
+		return "ADDFIELD"
 	default:
 		return fmt.Sprintf("OP(%d)", op)
 	}
@@ -121,6 +162,7 @@ const (
 	StatusNoTable      byte = 7
 	StatusNoTuple      byte = 8
 	StatusBadRequest   byte = 9
+	StatusRedirect     byte = 10 // not the leader; payload names who is
 )
 
 // Sentinel errors the client maps status codes onto, so callers use
@@ -135,6 +177,7 @@ var (
 	ErrNoTuple      = errors.New("wire: no such tuple")
 	ErrBadRequest   = errors.New("wire: bad request")
 	ErrInternal     = errors.New("wire: internal server error")
+	ErrNotLeader    = errors.New("wire: not the leader")
 
 	// ErrFrameTooLarge is returned by ReadFrame when the length prefix
 	// exceeds the reader's limit (protects both sides from a corrupt or
@@ -161,6 +204,8 @@ func sentinelOf(code byte) error {
 		return ErrNoTuple
 	case StatusBadRequest:
 		return ErrBadRequest
+	case StatusRedirect:
+		return ErrNotLeader
 	default:
 		return ErrInternal
 	}
@@ -180,10 +225,30 @@ func (e *StatusError) Error() string {
 // Unwrap lets errors.Is match the sentinel.
 func (e *StatusError) Unwrap() error { return sentinelOf(e.Code) }
 
+// RedirectError is the decoded form of a StatusRedirect response: the
+// contacted node is a follower and Leader is the address (possibly "",
+// mid-election) clients should retry against. The cluster Pool consumes
+// these internally; callers only see one if every redirect hop fails.
+type RedirectError struct {
+	Leader string
+}
+
+func (e *RedirectError) Error() string {
+	if e.Leader == "" {
+		return "wire: not the leader (no leader known)"
+	}
+	return fmt.Sprintf("wire: not the leader (leader at %s)", e.Leader)
+}
+
+// Unwrap lets errors.Is match ErrNotLeader.
+func (e *RedirectError) Unwrap() error { return ErrNotLeader }
+
 // IsTransient reports whether the error is worth an automatic bounded
-// retry: only backpressure admission timeouts qualify. Lock conflicts
-// are application-level aborts (retry the whole transaction, not the
-// request); everything else is terminal for the request.
+// retry on the same connection: only backpressure admission timeouts
+// qualify. Redirects are handled one level up (the cluster Pool
+// re-resolves the leader and replays on a fresh connection), and lock
+// conflicts are application-level aborts (retry the whole transaction,
+// not the request); everything else is terminal for the request.
 func IsTransient(err error) bool { return errors.Is(err, ErrBusy) }
 
 // RID is the network form of a record id.

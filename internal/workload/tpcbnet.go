@@ -19,11 +19,12 @@ import (
 // round trips: one for the three balance reads, one for the whole
 // BEGIN..COMMIT batch.
 //
-// The balance read happens outside the transaction (READ serves
-// committed state), so concurrent clients hitting the same account are
-// a classic optimistic read-modify-write: the no-wait lock makes one of
-// them abort (StatusLockConflict or StatusTxPoisoned), which RunOne
-// reports as a clean abort for the caller to count and retry.
+// The balance updates are server-side ADDFIELD deltas applied under the
+// tuple lock, so the read-modify-write is atomic no matter how the
+// pre-transaction display reads interleave; concurrent clients hitting
+// the same hot row make one of them abort on the no-wait lock
+// (StatusLockConflict or StatusTxPoisoned), which RunOne reports as a
+// clean abort for the caller to count and retry.
 type NetTPCB struct {
 	branchRIDs  []wire.RID // index bid-1
 	tellerRIDs  []wire.RID // index tid-1
@@ -110,9 +111,20 @@ func commitResolved(err error) bool {
 }
 
 // RunOne executes one Account_Update transaction: three pipelined
-// balance reads, then the pipelined BEGIN, three 8-byte UPDATEFIELDs
-// (the IPA delta path), one History INSERT and the COMMIT.
+// balance reads (the terminal's display query), then the pipelined
+// BEGIN, three 8-byte ADDFIELD deltas (the IPA delta path), one History
+// INSERT and the COMMIT.
 func (n *NetTPCB) RunOne(c *client.Conn, rng *rand.Rand) error {
+	_, err := n.RunOneSeq(c, rng)
+	return err
+}
+
+// RunOneSeq is RunOne, additionally returning the history sequence
+// number the transaction inserted. A nil error means the server
+// acknowledged the COMMIT, so that sequence number must survive any
+// single failure in a replicated cluster — the failover test's audit
+// key.
+func (n *NetTPCB) RunOneSeq(c *client.Conn, rng *rand.Rand) (uint64, error) {
 	aid := rng.Intn(len(n.accountRIDs))
 	tellerIdx := rng.Intn(len(n.tellerRIDs))
 	branchIdx := tellerIdx / 10
@@ -131,12 +143,12 @@ func (n *NetTPCB) RunOne(c *client.Conn, rng *rand.Rand) error {
 	for i, p := range reads {
 		f, err := p.Wait()
 		if err != nil {
-			return fmt.Errorf("tpcbnet: balance read: %w", err)
+			return 0, fmt.Errorf("tpcbnet: balance read: %w", err)
 		}
 		r := wire.NewReader(f.Payload)
 		tuple := r.Blob()
 		if err := r.Err(); err != nil {
-			return err
+			return 0, err
 		}
 		sch := n.schCtl
 		if i == 0 {
@@ -145,20 +157,21 @@ func (n *NetTPCB) RunOne(c *client.Conn, rng *rand.Rand) error {
 		bals[i] = sch.GetUint(tuple, 2)
 	}
 
+	seq := n.seq.Add(1)
 	h := n.schHist.New()
 	n.schHist.SetUint(h, 0, uint64(aid+1))
 	n.schHist.SetUint(h, 1, uint64(tellerIdx+1))
 	n.schHist.SetUint(h, 2, uint64(branchIdx+1))
 	n.schHist.SetUint(h, 3, delta)
-	n.schHist.SetUint(h, 4, n.seq.Add(1))
+	n.schHist.SetUint(h, 4, seq)
 
 	balOff := n.schAcct.Offset(2) // 8 for all three tables
 	tx := c.NewTxID()
 	pend := [6]*client.Pending{
 		c.BeginAsync(tx),
-		c.UpdateFieldAsync(tx, "tpcb_account", arid, balOff, leU64(bals[0]+delta)),
-		c.UpdateFieldAsync(tx, "tpcb_teller", trid, balOff, leU64(bals[1]+delta)),
-		c.UpdateFieldAsync(tx, "tpcb_branch", brid, balOff, leU64(bals[2]+delta)),
+		c.AddFieldAsync(tx, "tpcb_account", arid, balOff, delta),
+		c.AddFieldAsync(tx, "tpcb_teller", trid, balOff, delta),
+		c.AddFieldAsync(tx, "tpcb_branch", brid, balOff, delta),
 		c.InsertAsync(tx, "tpcb_history", h),
 		c.CommitAsync(tx),
 	}
@@ -180,14 +193,5 @@ func (n *NetTPCB) RunOne(c *client.Conn, rng *rand.Rand) error {
 		// server resolved it after all.
 		_ = c.Abort(tx)
 	}
-	return firstErr
-}
-
-// leU64 encodes v the way engine.Schema stores uints (little-endian).
-func leU64(v uint64) []byte {
-	b := make([]byte, 8)
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
-	}
-	return b
+	return seq, firstErr
 }
